@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's evaluation artifacts
+(Fig. 5 waveforms, Fig. 6 overhead bars, the verification-cost and
+runtime-overhead numbers of Section 5) and prints the corresponding
+rows/series.  Run with ``pytest benchmarks/ --benchmark-only -s`` to see
+the tables alongside the timing statistics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_table(title, rows):
+    """Print a list of dictionaries as an aligned table."""
+    print("\n=== %s ===" % title)
+    if not rows:
+        print("(no rows)")
+        return
+    columns = list(rows[0].keys())
+    widths = {
+        column: max(len(str(column)), *(len(str(row[column])) for row in rows))
+        for column in columns
+    }
+    header = "  ".join(str(column).ljust(widths[column]) for column in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(str(row[column]).ljust(widths[column]) for column in columns))
+
+
+@pytest.fixture
+def table_printer():
+    """Fixture exposing :func:`print_table` to benchmark tests."""
+    return print_table

@@ -1,0 +1,83 @@
+"""Experiment E1-E3 (paper Fig. 5): interrupt-handling waveforms.
+
+Each benchmark replays one of the three simulation scenarios and prints
+the ``ER_min`` / ``ER_max`` / ``EXEC`` / ``irq`` / ``PC`` series the
+paper's figure shows.  The assertions encode the qualitative result:
+
+* Fig. 5(a) -- authorized interrupt under ASAP: PC jumps to an ISR
+  inside ER and ``EXEC`` stays 1;
+* Fig. 5(b) -- unauthorized interrupt under ASAP: PC leaves ER and
+  ``EXEC`` drops to 0;
+* Fig. 5(c) -- any interrupt under APEX: ``EXEC`` drops to 0 even though
+  the handler lies inside ER.
+"""
+
+from repro.firmware.blinker import blinker_firmware
+from repro.firmware.testbench import PoxTestbench, TestbenchConfig
+
+
+def run_waveform_scenario(architecture, authorized, press_at=6):
+    """Run one Fig. 5 scenario and return (bench, waveform, result)."""
+    bench = PoxTestbench(
+        blinker_firmware(authorized=authorized),
+        TestbenchConfig(architecture=architecture),
+    )
+    result = bench.run_pox(setup=lambda d: d.schedule_button_press(press_at))
+    waveform = bench.waveform(["EXEC", "irq", "PC"])
+    return bench, waveform, result
+
+
+def describe(bench, waveform, result, title, table_printer):
+    er = bench.executable
+    print("\n--- %s ---" % title)
+    print("ER_min = 0x%04X, ER_max = 0x%04X" % (er.er_min, er.er_max))
+    print(waveform.to_ascii())
+    irq_entries = bench.device.trace.steps_with_irq()
+    rows = []
+    for entry in irq_entries:
+        rows.append({
+            "step": entry.step,
+            "interrupted PC": "0x%04X" % entry.pc,
+            "handler PC": "0x%04X" % entry.next_pc,
+            "handler in ER": er.contains(entry.next_pc),
+            "EXEC after": entry.monitor_signals.get("EXEC"),
+        })
+    table_printer(title + " (interrupt dispatches)", rows)
+    print("final EXEC = %d, proof accepted = %s" % (
+        waveform.final_value("EXEC"), result.accepted))
+
+
+def test_fig5a_authorized_interrupt_asap(benchmark, table_printer):
+    bench, waveform, result = benchmark(run_waveform_scenario, "asap", True)
+    describe(bench, waveform, result, "Fig. 5(a) authorized interrupt / ASAP",
+             table_printer)
+    irq_index = waveform.series("irq").index(1)
+    assert waveform.series("EXEC")[irq_index - 1] == 1
+    assert waveform.final_value("EXEC") == 1
+    assert result.accepted
+    handler = bench.device.trace.steps_with_irq()[0].next_pc
+    assert bench.executable.contains(handler)
+
+
+def test_fig5b_unauthorized_interrupt_asap(benchmark, table_printer):
+    bench, waveform, result = benchmark(run_waveform_scenario, "asap", False)
+    describe(bench, waveform, result, "Fig. 5(b) unauthorized interrupt / ASAP",
+             table_printer)
+    irq_index = waveform.series("irq").index(1)
+    assert waveform.series("EXEC")[irq_index - 1] == 1
+    assert waveform.final_value("EXEC") == 0
+    assert not result.accepted
+    handler = bench.device.trace.steps_with_irq()[0].next_pc
+    assert not bench.executable.contains(handler)
+
+
+def test_fig5c_any_interrupt_apex(benchmark, table_printer):
+    bench, waveform, result = benchmark(run_waveform_scenario, "apex", True)
+    describe(bench, waveform, result, "Fig. 5(c) any interrupt / APEX",
+             table_printer)
+    assert waveform.final_value("EXEC") == 0
+    assert not result.accepted
+    # The handler lies inside ER, yet APEX still invalidates the proof.
+    handler = bench.device.trace.steps_with_irq()[0].next_pc
+    assert bench.executable.contains(handler)
+    assert bench.monitor.violations_for("ltl3-interrupt")

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Attack gallery: the adversary model of Section 4.1, scenario by scenario.
+
+Runs every adversarial scenario of :mod:`repro.firmware.attacks` --
+IVT tampering by DMA and by software, executable/output modification,
+untrusted interrupts, mid-ER entry, IVT spoofing and report forgery --
+and prints how each one is defeated (hardware EXEC-flag rules, the
+verifier's IVT policy check, or MAC verification).
+
+Run with::
+
+    python examples/attack_gallery.py
+"""
+
+from repro import attack_suite
+
+
+def main():
+    outcomes = []
+    for scenario in attack_suite():
+        outcome = scenario.run()
+        outcomes.append((scenario, outcome))
+
+    width = max(len(scenario.name) for scenario, _ in outcomes)
+    print("%-*s  %-9s  %-5s  %s" % (width, "scenario", "accepted", "EXEC", "how it ends"))
+    print("-" * (width + 60))
+    for scenario, outcome in outcomes:
+        print("%-*s  %-9s  %-5d  %s" % (
+            width, scenario.name, outcome.accepted, outcome.exec_flag,
+            outcome.reason,
+        ))
+
+    undetected = [scenario.name for scenario, outcome in outcomes if not outcome.detected]
+    print()
+    if undetected:
+        raise SystemExit("scenarios escaping detection: %s" % ", ".join(undetected))
+    print("All %d scenarios behave as the ASAP security argument predicts." % len(outcomes))
+    print("(The benign baseline is accepted; every attack yields an invalid proof.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+the package can be installed in editable mode on minimal offline
+environments that lack the ``wheel`` package (``pip install -e .
+--no-use-pep517 --no-build-isolation`` or ``python setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,120 @@
+"""repro: a reproduction of ASAP (DAC 2022).
+
+ASAP -- *Architecture for Secure Asynchronous Processing in PoX* --
+extends the APEX proof-of-execution architecture so that executables can
+service trusted interrupts without invalidating the proof.  This package
+reproduces the system behaviourally in Python: an MSP430-class MCU
+simulator, the VRASED remote-attestation substrate, the APEX PoX
+architecture, the ASAP monitor/linker/protocol, an LTL verification
+toolkit and a hardware-cost model for the paper's overhead comparison.
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
+the reproduced tables and figures.
+"""
+
+from repro.memory import Memory, MemoryLayout, MemoryRegion, InterruptVectorTable
+from repro.isa import Assembler, AssembledImage
+from repro.device import Device, DeviceConfig, TraceRecorder, Waveform
+from repro.crypto import KeyStore, DeviceKey, hmac_sha256, sha256
+from repro.vrased import (
+    VrasedConfig,
+    VrasedMonitor,
+    SwAtt,
+    AttestationProtocol,
+    Verifier,
+)
+from repro.apex import (
+    ExecutableRegion,
+    OutputRegion,
+    MetadataRegion,
+    PoxConfig,
+    ApexMonitor,
+    PoxProtocol,
+    PoxVerifier,
+    PoxResult,
+)
+from repro.core import (
+    AsapMonitor,
+    IvtGuard,
+    ErLinker,
+    LinkedFirmware,
+    AsapPoxProtocol,
+    AsapPoxVerifier,
+)
+from repro.ltl import (
+    parse_ltl,
+    check_trace,
+    ModelChecker,
+    KripkeStructure,
+    asap_property_suite,
+    apex_property_suite,
+)
+from repro.hwcost import (
+    synthesize_monitor,
+    compare_costs,
+    figure6_comparison,
+)
+from repro.firmware import (
+    PoxTestbench,
+    TestbenchConfig,
+    blinker_firmware,
+    syringe_pump_firmware,
+    busy_wait_pump_firmware,
+    sensor_logger_firmware,
+    attack_suite,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Memory",
+    "MemoryLayout",
+    "MemoryRegion",
+    "InterruptVectorTable",
+    "Assembler",
+    "AssembledImage",
+    "Device",
+    "DeviceConfig",
+    "TraceRecorder",
+    "Waveform",
+    "KeyStore",
+    "DeviceKey",
+    "hmac_sha256",
+    "sha256",
+    "VrasedConfig",
+    "VrasedMonitor",
+    "SwAtt",
+    "AttestationProtocol",
+    "Verifier",
+    "ExecutableRegion",
+    "OutputRegion",
+    "MetadataRegion",
+    "PoxConfig",
+    "ApexMonitor",
+    "PoxProtocol",
+    "PoxVerifier",
+    "PoxResult",
+    "AsapMonitor",
+    "IvtGuard",
+    "ErLinker",
+    "LinkedFirmware",
+    "AsapPoxProtocol",
+    "AsapPoxVerifier",
+    "parse_ltl",
+    "check_trace",
+    "ModelChecker",
+    "KripkeStructure",
+    "asap_property_suite",
+    "apex_property_suite",
+    "synthesize_monitor",
+    "compare_costs",
+    "figure6_comparison",
+    "PoxTestbench",
+    "TestbenchConfig",
+    "blinker_firmware",
+    "syringe_pump_firmware",
+    "busy_wait_pump_firmware",
+    "sensor_logger_firmware",
+    "attack_suite",
+    "__version__",
+]

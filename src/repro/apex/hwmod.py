@@ -1,0 +1,180 @@
+"""The APEX hardware module: the EXEC-flag state machine.
+
+The monitor owns the 1-bit ``EXEC`` flag.  No software can write it;
+it is set when execution (re)starts at the legal entry point ``ER_min``
+and cleared whenever any of the architecture's rules is violated.  The
+rules implemented here are the paper's LTL 1-3 plus the memory
+protection conditions of Section 2.3:
+
+``ltl1-exit``        ER may only be left from its last instruction.
+``ltl2-entry``       ER may only be entered at its first instruction.
+``ltl3-interrupt``   no interrupt may occur while ER executes
+                     (APEX only -- ASAP removes this rule).
+``er-modified``      ER is immutable (CPU and DMA) once execution starts.
+``or-modified``      only ER's own execution may write the output region.
+``or-dma``           DMA never writes the output region.
+``metadata-modified`` the challenge/parameter area is immutable.
+``dma-during-er``    DMA must stay quiet while ER executes.
+
+:class:`PoxMonitorBase` carries everything shared with ASAP;
+:class:`ApexMonitor` adds the LTL 3 interrupt rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.apex.regions import PoxConfig
+from repro.cpu.signals import SignalBundle
+
+
+@dataclass(frozen=True)
+class ExecViolation:
+    """A rule violation that cleared the EXEC flag."""
+
+    rule: str
+    step: int
+    detail: str = ""
+
+
+class PoxMonitorBase:
+    """Shared EXEC-flag logic for the APEX and ASAP monitors."""
+
+    #: Human-readable architecture name (used in traces and reports).
+    architecture = "pox-base"
+
+    def __init__(self, config: PoxConfig):
+        self.config = config
+        self.exec_flag = False
+        self.violations: List[ExecViolation] = []
+        self.execution_started = False
+        self.execution_completed = False
+        self._step = 0
+        self._last_pc_in_er = False
+
+    # ------------------------------------------------------------ lifecycle
+
+    def reset(self):
+        """Reset the monitor (EXEC returns to 0)."""
+        self.exec_flag = False
+        self.violations = []
+        self.execution_started = False
+        self.execution_completed = False
+        self._step = 0
+        self._last_pc_in_er = False
+
+    def signal_values(self):
+        """Signals exported into execution traces (Fig. 5 waveforms)."""
+        return {
+            "EXEC": 1 if self.exec_flag else 0,
+            "PC_in_ER": 1 if self._last_pc_in_er else 0,
+        }
+
+    # ------------------------------------------------------------ observation
+
+    def observe(self, bundle: SignalBundle):
+        """Process one signal bundle: apply every rule, then update EXEC."""
+        self._step = bundle.cycle
+        violations_before = len(self.violations)
+        self._check_common_rules(bundle)
+        self._check_extra_rules(bundle)
+        violated_now = len(self.violations) > violations_before
+
+        if violated_now:
+            self.exec_flag = False
+        elif bundle.pc == self.config.executable.er_min:
+            # Execution (re)starts at the legal entry point.
+            self.exec_flag = True
+            self.execution_started = True
+            self.execution_completed = False
+
+        if (
+            self.execution_started
+            and not self.execution_completed
+            and bundle.pc == self.config.executable.er_max
+            and not self.config.executable.contains(bundle.next_pc)
+        ):
+            self.execution_completed = True
+
+        self._last_pc_in_er = self.config.executable.contains(bundle.pc)
+
+    # ------------------------------------------------------------ rules
+
+    def _check_common_rules(self, bundle: SignalBundle):
+        executable = self.config.executable
+        output = self.config.output
+        metadata = self.config.metadata
+
+        pc_in_er = executable.contains(bundle.pc)
+        next_in_er = executable.contains(bundle.next_pc)
+
+        if pc_in_er and not next_in_er and bundle.pc != executable.er_max:
+            self._record(
+                "ltl1-exit", bundle,
+                "ER left from 0x%04X (legal exit is 0x%04X)"
+                % (bundle.pc, executable.er_max),
+            )
+        if not pc_in_er and next_in_er and bundle.next_pc != executable.er_min:
+            self._record(
+                "ltl2-entry", bundle,
+                "ER entered at 0x%04X (legal entry is 0x%04X)"
+                % (bundle.next_pc, executable.er_min),
+            )
+
+        if bundle.writes_into(executable.region) or bundle.dma_writes_into(executable.region):
+            self._record("er-modified", bundle, "write into the executable region")
+
+        if bundle.writes_into(output.region) and not pc_in_er:
+            self._record(
+                "or-modified", bundle,
+                "output region written while PC=0x%04X is outside ER" % bundle.pc,
+            )
+        if bundle.dma_writes_into(output.region):
+            self._record("or-dma", bundle, "DMA write into the output region")
+
+        if bundle.writes_into(metadata.region) or bundle.dma_writes_into(metadata.region):
+            self._record("metadata-modified", bundle, "write into the metadata region")
+
+        if pc_in_er and bundle.dma_en:
+            self._record("dma-during-er", bundle, "DMA active during ER execution")
+
+    def _check_extra_rules(self, bundle: SignalBundle):
+        """Architecture-specific rules (overridden by subclasses)."""
+
+    def _record(self, rule, bundle, detail=""):
+        self.violations.append(
+            ExecViolation(rule=rule, step=bundle.cycle, detail=detail)
+        )
+
+    # ------------------------------------------------------------ queries
+
+    @property
+    def violated(self):
+        """``True`` if any rule has been violated since the last reset."""
+        return bool(self.violations)
+
+    def violations_for(self, rule):
+        """Return the violations of one named rule."""
+        return [violation for violation in self.violations if violation.rule == rule]
+
+    def first_violation(self) -> Optional[ExecViolation]:
+        """Return the earliest violation, or ``None``."""
+        return self.violations[0] if self.violations else None
+
+    def exec_value(self):
+        """The EXEC flag as the 0/1 integer the attestation measures."""
+        return 1 if self.exec_flag else 0
+
+
+class ApexMonitor(PoxMonitorBase):
+    """The original APEX monitor: interrupts always clear EXEC (LTL 3)."""
+
+    architecture = "apex"
+
+    def _check_extra_rules(self, bundle: SignalBundle):
+        if self.config.executable.contains(bundle.pc) and bundle.irq:
+            self._record(
+                "ltl3-interrupt", bundle,
+                "interrupt requested while ER executes (APEX forbids all interrupts)",
+            )

@@ -1,0 +1,124 @@
+"""The IVT-guard FSM: ASAP's [AP1] property (paper Fig. 3, LTL 4).
+
+The FSM has two states:
+
+* ``RUN`` -- no IVT tampering observed; the guard does not constrain
+  the EXEC flag.
+* ``NOT_EXEC`` -- a CPU or DMA write to the IVT was observed; EXEC must
+  be 0 until a fresh execution starts at ``ER_min``.
+
+Transitions (exactly the edges of Fig. 3):
+
+* ``RUN -> NOT_EXEC`` when ``(Wen ∧ Daddr ∈ IVT) ∨ (DMAen ∧ DMAaddr ∈ IVT)``;
+* ``NOT_EXEC -> RUN`` when ``PC = ER_min`` and no IVT write happens in
+  the same cycle;
+* otherwise each state loops to itself.
+
+The same transition structure is exported as a Kripke-style description
+so the LTL model checker (:mod:`repro.ltl`) can verify LTL 4 against it,
+and as an RTL description so the hardware-cost model can count its
+LUTs/registers for the Fig. 6 comparison.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cpu.signals import SignalBundle
+from repro.memory.layout import MemoryRegion
+
+
+class IvtGuardState(enum.Enum):
+    """The two FSM states of Fig. 3."""
+
+    RUN = "Run"
+    NOT_EXEC = "NotExec"
+
+
+@dataclass(frozen=True)
+class IvtWriteEvent:
+    """A detected write to the IVT (what tripped the guard)."""
+
+    step: int
+    initiator: str
+    address: int
+
+
+class IvtGuard:
+    """Behavioural model of the verified Fig. 3 FSM."""
+
+    def __init__(self, ivt_region: MemoryRegion, er_min: int):
+        self.ivt_region = ivt_region
+        self.er_min = er_min & 0xFFFF
+        self.state = IvtGuardState.RUN
+        self.events: List[IvtWriteEvent] = []
+
+    # ------------------------------------------------------------ lifecycle
+
+    def reset(self):
+        """Return to the ``RUN`` state and clear the event log."""
+        self.state = IvtGuardState.RUN
+        self.events = []
+
+    @property
+    def exec_allowed(self):
+        """``True`` while the guard permits ``EXEC = 1``."""
+        return self.state is IvtGuardState.RUN
+
+    @property
+    def tripped(self):
+        """``True`` if the guard has ever observed IVT tampering."""
+        return bool(self.events)
+
+    # ------------------------------------------------------------ transition
+
+    def ivt_write_in(self, bundle: SignalBundle):
+        """Return the first IVT write in *bundle*, or ``None``.
+
+        Implements the Fig. 3 trigger condition
+        ``(Wen ∧ Daddr ∈ IVT) ∨ (DMAen ∧ DMAaddr ∈ IVT)``.
+        """
+        for address in bundle.write_addresses:
+            if self.ivt_region.contains(address):
+                return IvtWriteEvent(bundle.cycle, "cpu", address)
+        for address in bundle.dma_write_addresses:
+            if self.ivt_region.contains(address):
+                return IvtWriteEvent(bundle.cycle, "dma", address)
+        return None
+
+    def observe(self, bundle: SignalBundle):
+        """Advance the FSM by one cycle; return the new state."""
+        write_event = self.ivt_write_in(bundle)
+        if write_event is not None:
+            self.events.append(write_event)
+            self.state = IvtGuardState.NOT_EXEC
+        elif self.state is IvtGuardState.NOT_EXEC and bundle.pc == self.er_min:
+            self.state = IvtGuardState.RUN
+        return self.state
+
+    # ------------------------------------------------------------ model exports
+
+    @staticmethod
+    def transition_relation():
+        """Abstract next-state relation for model checking.
+
+        States are the two :class:`IvtGuardState` values; inputs are the
+        booleans ``ivt_write`` (the Fig. 3 trigger condition) and
+        ``pc_at_ermin``.  Returns a function ``next_state(state, inputs)``.
+        """
+
+        def next_state(state, inputs):
+            if inputs.get("ivt_write", False):
+                return IvtGuardState.NOT_EXEC
+            if state is IvtGuardState.NOT_EXEC and inputs.get("pc_at_ermin", False):
+                return IvtGuardState.RUN
+            return state
+
+        return next_state
+
+    @staticmethod
+    def output_exec(state):
+        """The FSM's EXEC output as a function of its state."""
+        return state is IvtGuardState.RUN

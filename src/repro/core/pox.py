@@ -1,0 +1,138 @@
+"""The ASAP proof-of-execution protocol.
+
+ASAP's PoX differs from APEX's in what the report covers and in what the
+verifier checks:
+
+* the measurement additionally covers the **IVT** (so the verifier knows
+  exactly which handler each interrupt source could have invoked), and a
+  clear-text snapshot of the IVT travels in the report;
+* after the MAC matches, the verifier applies the paper's security
+  argument: **every IVT entry that points inside ER must be the entry
+  point of an intended/trusted ISR**.  Entries pointing outside ER are
+  allowed to be anything -- if such an interrupt had fired during the
+  execution, the program counter would have left ER through an illegal
+  exit and LTL 1 would already have cleared EXEC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.apex.pox import PoxProtocol, PoxVerifier
+from repro.apex.regions import PoxConfig
+from repro.core.linker import LinkedFirmware
+from repro.memory.layout import MemoryRegion
+from repro.memory.ivt import IVT_BASE, IVT_END
+
+
+#: Name of the IVT snapshot inside ASAP reports.
+IVT_SNAPSHOT = "IVT"
+
+
+def _ivt_entries_from_bytes(data, base):
+    """Decode an IVT byte snapshot into ``{index: handler address}``."""
+    entries = {}
+    for index in range(len(data) // 2):
+        value = data[2 * index] | (data[2 * index + 1] << 8)
+        entries[index] = value
+    return entries
+
+
+class AsapPoxVerifier(PoxVerifier):
+    """Verifier-side ASAP logic: measurement covers the IVT, plus the
+    ISR-entry policy check of the paper's security argument."""
+
+    def register_asap_deployment(self, device_id, config: PoxConfig, er_bytes,
+                                 expected_isr_entries: Dict[int, int],
+                                 ivt_region: Optional[MemoryRegion] = None):
+        """Record geometry, ER reference and the intended ISR entry points."""
+        if ivt_region is None:
+            ivt_region = MemoryRegion(IVT_BASE, IVT_END, "ivt")
+        self.register_deployment(device_id, config, er_bytes)
+        reference = self._references[device_id]
+        reference["ivt_region"] = ivt_region
+        reference["expected_isr_entries"] = dict(expected_isr_entries)
+
+    # ------------------------------------------------------------ hooks
+
+    def _reference_region_contents(self, device_id, report, config, reference, output):
+        contents = super()._reference_region_contents(
+            device_id, report, config, reference, output
+        )
+        ivt_region = reference.get("ivt_region")
+        if ivt_region is not None:
+            snapshot = report.snapshots.get(IVT_SNAPSHOT, b"")
+            contents.append((ivt_region, snapshot))
+        return contents
+
+    def _post_measurement_checks(self, device_id, report, reference):
+        ivt_region = reference.get("ivt_region")
+        if ivt_region is None:
+            return None
+        snapshot = report.snapshots.get(IVT_SNAPSHOT)
+        if snapshot is None or len(snapshot) != ivt_region.size:
+            return "report carries no valid IVT snapshot"
+        config: PoxConfig = reference["config"]
+        expected_entries = reference.get("expected_isr_entries", {})
+        entries = _ivt_entries_from_bytes(snapshot, ivt_region.start)
+        allowed_addresses = set(expected_entries.values())
+        for index, handler in entries.items():
+            if not handler:
+                continue
+            if config.executable.contains(handler):
+                if handler not in allowed_addresses:
+                    return (
+                        "IVT entry %d points into ER at 0x%04X, which is not "
+                        "an intended ISR entry point" % (index, handler)
+                    )
+                expected_for_index = expected_entries.get(index)
+                if expected_for_index is not None and expected_for_index != handler:
+                    return (
+                        "IVT entry %d points at 0x%04X but the intended handler "
+                        "for this source is 0x%04X" % (index, handler, expected_for_index)
+                    )
+        return None
+
+
+class AsapPoxProtocol(PoxProtocol):
+    """End-to-end ASAP PoX flow against a simulated device."""
+
+    architecture = "asap"
+
+    def __init__(self, device, pox_verifier: AsapPoxVerifier, device_id,
+                 config: PoxConfig, monitor, ivt_region: Optional[MemoryRegion] = None):
+        super().__init__(device, pox_verifier, device_id, config, monitor)
+        if ivt_region is None:
+            ivt_region = MemoryRegion(IVT_BASE, IVT_END, "ivt")
+        self.ivt_region = ivt_region
+
+    # ------------------------------------------------------------ setup
+
+    def provision(self, expected_isr_entries: Optional[Dict[int, int]] = None):
+        """Register ER contents and the intended ISR entry points."""
+        if expected_isr_entries is None:
+            expected_isr_entries = dict(self.config.executable.isr_entries)
+        er_bytes = self.device.memory.dump_region(self.config.executable.region)
+        self.pox_verifier.register_asap_deployment(
+            self.device_id, self.config, er_bytes,
+            expected_isr_entries, ivt_region=self.ivt_region,
+        )
+        return er_bytes
+
+    @classmethod
+    def from_firmware(cls, device, pox_verifier, device_id, firmware: LinkedFirmware,
+                      config: PoxConfig, monitor):
+        """Convenience constructor that also loads *firmware* onto the device."""
+        firmware.load_into(device)
+        protocol = cls(device, pox_verifier, device_id, config, monitor)
+        return protocol
+
+    # ------------------------------------------------------------ measurement
+
+    def _measured_regions(self):
+        return super()._measured_regions() + [self.ivt_region]
+
+    def _snapshot_regions(self):
+        snapshots = super()._snapshot_regions()
+        snapshots[IVT_SNAPSHOT] = self.ivt_region
+        return snapshots

@@ -1,0 +1,502 @@
+"""Behavioral CPU core for the MSP430-class ISA.
+
+The core executes one instruction (or one interrupt entry, or one idle
+low-power cycle) per :meth:`CPU.step` call and reports the
+monitor-visible activity of that step as a
+:class:`~repro.cpu.signals.SignalBundle`.
+
+Fidelity notes
+--------------
+
+* Registers follow MSP430 conventions: ``R0`` = PC, ``R1`` = SP,
+  ``R2`` = SR (with the :class:`~repro.isa.registers.StatusFlag` bits),
+  ``R3`` = constant generator (reads as zero).
+* Byte-mode operations on registers clear the high byte, as on the real
+  hardware.
+* Interrupt entry pushes PC then SR, clears ``GIE``/``CPUOFF`` and loads
+  the handler address from the IVT entry of the accepted source;
+  ``RETI`` pops SR then PC.  This is the behaviour ASAP relies on when
+  reasoning about the program counter crossing the ER boundary
+  (paper Fig. 5).
+* Cycle counts come from the per-instruction estimates in
+  :mod:`repro.isa.instructions`; they only matter for *relative*
+  comparisons (the runtime-overhead and busy-wait experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.isa.encoding import DecodeError, decode_instruction
+from repro.isa.instructions import AddressingMode, Instruction, InstructionFormat, Opcode
+from repro.isa.registers import PC, SP, SR, CG, REGISTER_COUNT, StatusFlag
+from repro.memory.ivt import InterruptVectorTable
+from repro.cpu.signals import MemoryRead, MemoryWrite, SignalBundle
+
+
+class CPUError(Exception):
+    """Raised on unrecoverable execution errors (bad opcodes, bad state)."""
+
+
+@dataclass
+class StepResult:
+    """Outcome of one :meth:`CPU.step` call."""
+
+    bundle: SignalBundle
+    idle: bool = False
+    serviced_interrupt: Optional[int] = None
+
+
+#: Cycles consumed by an interrupt entry (accept + stack pushes + vector fetch).
+INTERRUPT_ENTRY_CYCLES = 6
+#: Cycles consumed by an idle (CPUOFF) step.
+IDLE_CYCLES = 1
+
+
+class CPU:
+    """The execution engine.
+
+    The CPU is deliberately policy-free: it will happily execute malware,
+    jump into the middle of the executable region or overwrite the IVT.
+    Detecting (and proving the absence of) such behaviour is the job of
+    the APEX/ASAP hardware monitors observing the emitted signal bundles.
+    """
+
+    def __init__(self, memory, ivt=None):
+        self.memory = memory
+        self.ivt = ivt if ivt is not None else InterruptVectorTable(memory)
+        self.registers = [0] * REGISTER_COUNT
+        self.cycle_count = 0
+        self.step_count = 0
+        self._writes = []
+        self._reads = []
+
+    # ------------------------------------------------------------ state
+
+    @property
+    def pc(self):
+        """Current program counter."""
+        return self.registers[PC]
+
+    @pc.setter
+    def pc(self, value):
+        self.registers[PC] = value & 0xFFFE
+
+    @property
+    def sp(self):
+        """Current stack pointer."""
+        return self.registers[SP]
+
+    @sp.setter
+    def sp(self, value):
+        self.registers[SP] = value & 0xFFFE
+
+    @property
+    def sr(self):
+        """Current status register value."""
+        return self.registers[SR]
+
+    @sr.setter
+    def sr(self, value):
+        self.registers[SR] = value & 0xFFFF
+
+    def flag(self, flag):
+        """Return the boolean value of a :class:`StatusFlag`."""
+        return bool(self.registers[SR] & flag)
+
+    def set_flag(self, flag, value):
+        """Set or clear a :class:`StatusFlag`."""
+        if value:
+            self.registers[SR] |= flag
+        else:
+            self.registers[SR] &= ~flag & 0xFFFF
+
+    @property
+    def interrupts_enabled(self):
+        """``True`` when the general-interrupt-enable bit is set."""
+        return self.flag(StatusFlag.GIE)
+
+    @property
+    def sleeping(self):
+        """``True`` when the CPU is in low-power mode (``CPUOFF``)."""
+        return self.flag(StatusFlag.CPUOFF)
+
+    def reset(self, stack_top=None):
+        """Reset the core: clear registers and load PC from the reset vector."""
+        self.registers = [0] * REGISTER_COUNT
+        self.pc = self.ivt.get_reset_vector()
+        if stack_top is not None:
+            self.sp = stack_top
+        self.cycle_count = 0
+        self.step_count = 0
+
+    # ------------------------------------------------------------ stepping
+
+    def step(self, pending_interrupt=None):
+        """Execute one step and return a :class:`StepResult`.
+
+        *pending_interrupt* is the IVT index of the highest-priority
+        pending, enabled interrupt (or ``None``).  The CPU accepts it
+        when ``GIE`` is set; a sleeping CPU with ``GIE`` clear stays
+        asleep (as on the real device, where such a configuration would
+        hang -- firmware is expected to sleep with interrupts enabled).
+        """
+        self._writes = []
+        self._reads = []
+        start_pc = self.pc
+        gie_before = self.interrupts_enabled
+        cpu_off_before = self.sleeping
+
+        if pending_interrupt is not None and gie_before:
+            bundle = self._enter_interrupt(pending_interrupt, start_pc, gie_before, cpu_off_before)
+            return StepResult(bundle=bundle, serviced_interrupt=pending_interrupt)
+
+        if cpu_off_before:
+            bundle = self._make_bundle(
+                start_pc, start_pc, gie_before, cpu_off_before,
+                instruction="(sleep)", cycles=IDLE_CYCLES,
+            )
+            return StepResult(bundle=bundle, idle=True)
+
+        instruction, size = self._fetch(start_pc)
+        self.registers[PC] = (start_pc + size) & 0xFFFF
+        self._execute(instruction)
+        bundle = self._make_bundle(
+            start_pc, self.pc, gie_before, cpu_off_before,
+            instruction=instruction.render(), cycles=instruction.cycles(),
+        )
+        return StepResult(bundle=bundle)
+
+    def _enter_interrupt(self, source, start_pc, gie_before, cpu_off_before):
+        """Perform interrupt entry for IVT index *source*."""
+        self._push(self.pc)
+        self._push(self.sr)
+        # Hardware clears GIE and the low-power bits so the ISR runs.
+        self.sr &= ~(
+            StatusFlag.GIE | StatusFlag.CPUOFF | StatusFlag.OSCOFF | StatusFlag.SCG1
+        ) & 0xFFFF
+        handler = self.ivt.get_vector(source)
+        self._reads.append(MemoryRead(self.ivt.entry_address(source), handler, 2))
+        self.pc = handler
+        return self._make_bundle(
+            start_pc, self.pc, gie_before, cpu_off_before,
+            irq=True, irq_source=source,
+            instruction="(interrupt entry #%d)" % source,
+            cycles=INTERRUPT_ENTRY_CYCLES,
+        )
+
+    def _make_bundle(self, pc, next_pc, gie, cpu_off, irq=False, irq_source=None,
+                     instruction=None, cycles=1):
+        self.cycle_count += cycles
+        self.step_count += 1
+        return SignalBundle(
+            cycle=self.step_count,
+            pc=pc,
+            next_pc=next_pc,
+            irq=irq,
+            irq_source=irq_source,
+            gie=gie,
+            cpu_off=cpu_off,
+            instruction=instruction,
+            writes=list(self._writes),
+            reads=list(self._reads),
+            cycles_consumed=cycles,
+        )
+
+    # ------------------------------------------------------------ fetch
+
+    def _fetch(self, address):
+        """Decode the instruction at *address*; return ``(instruction, bytes)``."""
+        words = [
+            self.memory.peek_word(address),
+            self.memory.peek_word((address + 2) & 0xFFFF),
+            self.memory.peek_word((address + 4) & 0xFFFF),
+        ]
+        try:
+            instruction, consumed = decode_instruction(words)
+        except DecodeError as error:
+            raise CPUError(
+                "illegal instruction at 0x%04X: %s" % (address, error)
+            ) from error
+        return instruction, 2 * consumed
+
+    # ------------------------------------------------------------ memory helpers
+
+    def _read_mem(self, address, byte_mode):
+        if byte_mode:
+            value = self.memory.read_byte(address)
+            self._reads.append(MemoryRead(address, value, 1))
+        else:
+            value = self.memory.read_word(address)
+            self._reads.append(MemoryRead(address & 0xFFFE, value, 2))
+        return value
+
+    def _write_mem(self, address, value, byte_mode):
+        if byte_mode:
+            self.memory.write_byte(address, value & 0xFF)
+            self._writes.append(MemoryWrite(address, value & 0xFF, 1))
+        else:
+            self.memory.write_word(address, value & 0xFFFF)
+            self._writes.append(MemoryWrite(address & 0xFFFE, value & 0xFFFF, 2))
+
+    def _push(self, value):
+        self.sp = (self.sp - 2) & 0xFFFF
+        self._write_mem(self.sp, value, byte_mode=False)
+
+    def _pop(self):
+        value = self._read_mem(self.sp, byte_mode=False)
+        self.sp = (self.sp + 2) & 0xFFFF
+        return value
+
+    # ------------------------------------------------------------ operands
+
+    def _read_register(self, number, byte_mode):
+        if number == CG:
+            return 0
+        value = self.registers[number]
+        return value & 0xFF if byte_mode else value & 0xFFFF
+
+    def _write_register(self, number, value, byte_mode):
+        if number == CG:
+            return
+        if byte_mode:
+            value &= 0xFF
+        else:
+            value &= 0xFFFF
+        if number in (PC, SP):
+            value &= 0xFFFE
+        self.registers[number] = value
+
+    def _operand_address(self, operand):
+        """Compute the effective memory address of a memory operand."""
+        mode = operand.mode
+        if mode is AddressingMode.INDEXED:
+            return (self.registers[operand.register] + operand.value) & 0xFFFF
+        if mode in (AddressingMode.SYMBOLIC, AddressingMode.ABSOLUTE):
+            return operand.value & 0xFFFF
+        if mode in (AddressingMode.INDIRECT, AddressingMode.AUTOINCREMENT):
+            return self.registers[operand.register] & 0xFFFF
+        raise CPUError("operand mode %r has no address" % (mode,))
+
+    def _read_operand(self, operand, byte_mode):
+        """Read an operand value; returns ``(value, address-or-None)``."""
+        mode = operand.mode
+        if mode is AddressingMode.REGISTER:
+            return self._read_register(operand.register, byte_mode), None
+        if mode is AddressingMode.CONSTANT:
+            value = operand.value & (0xFF if byte_mode else 0xFFFF)
+            return value, None
+        if mode is AddressingMode.IMMEDIATE:
+            value = operand.value & (0xFF if byte_mode else 0xFFFF)
+            return value, None
+        address = self._operand_address(operand)
+        value = self._read_mem(address, byte_mode)
+        if mode is AddressingMode.AUTOINCREMENT:
+            increment = 1 if byte_mode else 2
+            self.registers[operand.register] = (
+                self.registers[operand.register] + increment
+            ) & 0xFFFF
+        return value, address
+
+    def _write_operand(self, operand, address, value, byte_mode):
+        """Write *value* back to a destination operand."""
+        if operand.mode is AddressingMode.REGISTER:
+            self._write_register(operand.register, value, byte_mode)
+            return
+        if address is None:
+            address = self._operand_address(operand)
+        self._write_mem(address, value, byte_mode)
+
+    # ------------------------------------------------------------ execution
+
+    def _execute(self, instruction):
+        fmt = instruction.format
+        if fmt is InstructionFormat.JUMP:
+            self._execute_jump(instruction)
+        elif fmt is InstructionFormat.SINGLE_OPERAND:
+            self._execute_single(instruction)
+        else:
+            self._execute_double(instruction)
+
+    # .......................................................... jumps
+
+    def _execute_jump(self, instruction):
+        taken = self._jump_condition(instruction.opcode)
+        if taken:
+            self.pc = (self.pc + instruction.jump_offset) & 0xFFFF
+
+    def _jump_condition(self, opcode):
+        c = self.flag(StatusFlag.C)
+        z = self.flag(StatusFlag.Z)
+        n = self.flag(StatusFlag.N)
+        v = self.flag(StatusFlag.V)
+        if opcode is Opcode.JNE:
+            return not z
+        if opcode is Opcode.JEQ:
+            return z
+        if opcode is Opcode.JNC:
+            return not c
+        if opcode is Opcode.JC:
+            return c
+        if opcode is Opcode.JN:
+            return n
+        if opcode is Opcode.JGE:
+            return n == v
+        if opcode is Opcode.JL:
+            return n != v
+        if opcode is Opcode.JMP:
+            return True
+        raise CPUError("not a jump opcode: %r" % (opcode,))
+
+    # .......................................................... format II
+
+    def _execute_single(self, instruction):
+        opcode = instruction.opcode
+        byte_mode = instruction.byte_mode
+
+        if opcode is Opcode.RETI:
+            self.sr = self._pop()
+            self.pc = self._pop()
+            return
+
+        value, address = self._read_operand(instruction.src, byte_mode)
+        mask = 0xFF if byte_mode else 0xFFFF
+        msb = 0x80 if byte_mode else 0x8000
+
+        if opcode is Opcode.PUSH:
+            self._push(value if not byte_mode else value & 0xFF)
+            return
+        if opcode is Opcode.CALL:
+            self._push(self.pc)
+            self.pc = value
+            return
+        if opcode is Opcode.SWPB:
+            result = ((value & 0xFF) << 8) | ((value >> 8) & 0xFF)
+            self._write_operand(instruction.src, address, result, byte_mode=False)
+            return
+        if opcode is Opcode.SXT:
+            result = value & 0xFF
+            if result & 0x80:
+                result |= 0xFF00
+            self._set_logic_flags(result, 0xFFFF, 0x8000)
+            self._write_operand(instruction.src, address, result, byte_mode=False)
+            return
+        if opcode is Opcode.RRA:
+            carry = value & 1
+            result = ((value & mask) >> 1) | (value & msb)
+            self.set_flag(StatusFlag.C, carry)
+            self.set_flag(StatusFlag.Z, result == 0)
+            self.set_flag(StatusFlag.N, bool(result & msb))
+            self.set_flag(StatusFlag.V, False)
+            self._write_operand(instruction.src, address, result, byte_mode)
+            return
+        if opcode is Opcode.RRC:
+            carry_in = msb if self.flag(StatusFlag.C) else 0
+            carry_out = value & 1
+            result = ((value & mask) >> 1) | carry_in
+            self.set_flag(StatusFlag.C, carry_out)
+            self.set_flag(StatusFlag.Z, result == 0)
+            self.set_flag(StatusFlag.N, bool(result & msb))
+            self.set_flag(StatusFlag.V, False)
+            self._write_operand(instruction.src, address, result, byte_mode)
+            return
+        raise CPUError("unhandled single-operand opcode %r" % (opcode,))
+
+    # .......................................................... format I
+
+    def _execute_double(self, instruction):
+        opcode = instruction.opcode
+        byte_mode = instruction.byte_mode
+        mask = 0xFF if byte_mode else 0xFFFF
+        msb = 0x80 if byte_mode else 0x8000
+
+        src_value, _ = self._read_operand(instruction.src, byte_mode)
+        # MOV/BIC/BIS never need the old destination value from memory,
+        # but reading it models the real read-modify-write bus behaviour
+        # closely enough and keeps the code uniform; MOV skips the read.
+        if opcode is Opcode.MOV:
+            dst_value, dst_address = 0, None
+            if instruction.dst.mode is not AddressingMode.REGISTER:
+                dst_address = self._operand_address(instruction.dst)
+        else:
+            dst_value, dst_address = self._read_operand(instruction.dst, byte_mode)
+
+        write_back = True
+        result = 0
+
+        if opcode is Opcode.MOV:
+            result = src_value & mask
+        elif opcode in (Opcode.ADD, Opcode.ADDC):
+            carry_in = 1 if (opcode is Opcode.ADDC and self.flag(StatusFlag.C)) else 0
+            result = self._add_and_set_flags(dst_value, src_value, carry_in, mask, msb)
+        elif opcode in (Opcode.SUB, Opcode.SUBC, Opcode.CMP):
+            carry_in = 1
+            if opcode is Opcode.SUBC:
+                carry_in = 1 if self.flag(StatusFlag.C) else 0
+            result = self._add_and_set_flags(
+                dst_value, (~src_value) & mask, carry_in, mask, msb
+            )
+            if opcode is Opcode.CMP:
+                write_back = False
+        elif opcode is Opcode.DADD:
+            result = self._decimal_add_and_set_flags(dst_value, src_value, byte_mode)
+        elif opcode in (Opcode.BIT, Opcode.AND):
+            result = dst_value & src_value & mask
+            self._set_logic_flags(result, mask, msb)
+            if opcode is Opcode.BIT:
+                write_back = False
+        elif opcode is Opcode.BIC:
+            result = dst_value & (~src_value) & mask
+        elif opcode is Opcode.BIS:
+            result = (dst_value | src_value) & mask
+        elif opcode is Opcode.XOR:
+            result = (dst_value ^ src_value) & mask
+            self.set_flag(StatusFlag.Z, result == 0)
+            self.set_flag(StatusFlag.N, bool(result & msb))
+            self.set_flag(StatusFlag.C, result != 0)
+            self.set_flag(StatusFlag.V, bool(dst_value & msb) and bool(src_value & msb))
+        else:
+            raise CPUError("unhandled double-operand opcode %r" % (opcode,))
+
+        if write_back:
+            self._write_operand(instruction.dst, dst_address, result, byte_mode)
+
+    # .......................................................... flag helpers
+
+    def _set_logic_flags(self, result, mask, msb):
+        self.set_flag(StatusFlag.Z, (result & mask) == 0)
+        self.set_flag(StatusFlag.N, bool(result & msb))
+        self.set_flag(StatusFlag.C, (result & mask) != 0)
+        self.set_flag(StatusFlag.V, False)
+
+    def _add_and_set_flags(self, a, b, carry_in, mask, msb):
+        a &= mask
+        b &= mask
+        total = a + b + carry_in
+        result = total & mask
+        self.set_flag(StatusFlag.C, total > mask)
+        self.set_flag(StatusFlag.Z, result == 0)
+        self.set_flag(StatusFlag.N, bool(result & msb))
+        overflow = bool(~(a ^ b) & (a ^ result) & msb)
+        self.set_flag(StatusFlag.V, overflow)
+        return result
+
+    def _decimal_add_and_set_flags(self, a, b, byte_mode):
+        digits = 2 if byte_mode else 4
+        carry = 1 if self.flag(StatusFlag.C) else 0
+        result = 0
+        for digit_index in range(digits):
+            shift = 4 * digit_index
+            digit = ((a >> shift) & 0xF) + ((b >> shift) & 0xF) + carry
+            carry = 0
+            if digit > 9:
+                digit -= 10
+                carry = 1
+            result |= digit << shift
+        mask = 0xFF if byte_mode else 0xFFFF
+        msb = 0x80 if byte_mode else 0x8000
+        self.set_flag(StatusFlag.C, bool(carry))
+        self.set_flag(StatusFlag.Z, result == 0)
+        self.set_flag(StatusFlag.N, bool(result & msb))
+        return result & mask

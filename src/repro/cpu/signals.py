@@ -1,0 +1,129 @@
+"""Per-cycle signal bundle observed by the hardware monitors.
+
+The paper's LTL properties are stated over a small set of MCU signals
+(Section 4.2):
+
+* ``PC`` -- the program counter,
+* ``irq`` -- the interrupt-request line,
+* ``Wen`` / ``Daddr`` -- CPU data-write enable and address,
+* ``DMAen`` / ``DMAaddr`` -- DMA transfer enable and address,
+* plus, for the underlying VRASED guarantees, the data-read address.
+
+A :class:`SignalBundle` carries the values of those signals for one
+simulated step, including the *next* program-counter value so that
+``X(PC)``-style properties (LTL 1 and 2) can be evaluated directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class MemoryWrite:
+    """One data-memory write performed during a step."""
+
+    address: int
+    value: int
+    size: int = 2
+
+
+@dataclass(frozen=True)
+class MemoryRead:
+    """One data-memory read performed during a step."""
+
+    address: int
+    value: int
+    size: int = 2
+
+
+@dataclass
+class SignalBundle:
+    """The monitor-visible signals for a single simulated step.
+
+    ``pc`` is the program counter at the start of the step (the address
+    of the instruction being executed, or the interrupted instruction
+    when the step is an interrupt entry); ``next_pc`` is its value after
+    the step.  ``irq`` is asserted on the step in which the CPU accepts
+    an interrupt; ``irq_source`` identifies the IVT index being serviced.
+    ``gie`` reports the general-interrupt-enable bit *before* the step.
+    DMA activity performed concurrently with the step is reported via
+    ``dma_en`` / ``dma_writes``.
+    """
+
+    cycle: int = 0
+    pc: int = 0
+    next_pc: int = 0
+    irq: bool = False
+    irq_source: Optional[int] = None
+    gie: bool = False
+    cpu_off: bool = False
+    reset: bool = False
+    instruction: Optional[str] = None
+    writes: List[MemoryWrite] = field(default_factory=list)
+    reads: List[MemoryRead] = field(default_factory=list)
+    dma_en: bool = False
+    dma_writes: List[MemoryWrite] = field(default_factory=list)
+    dma_reads: List[MemoryRead] = field(default_factory=list)
+    cycles_consumed: int = 1
+
+    # ----------------------------------------------------- monitor helpers
+
+    @property
+    def wen(self):
+        """``True`` when the CPU wrote data memory during this step."""
+        return bool(self.writes)
+
+    @property
+    def write_addresses(self):
+        """Addresses of every byte written by the CPU this step."""
+        return _expand_addresses(self.writes)
+
+    @property
+    def read_addresses(self):
+        """Addresses of every byte read by the CPU this step."""
+        return _expand_addresses(self.reads)
+
+    @property
+    def dma_addresses(self):
+        """Addresses of every byte touched by DMA this step."""
+        return _expand_addresses(self.dma_writes) + _expand_addresses(self.dma_reads)
+
+    @property
+    def dma_write_addresses(self):
+        """Addresses of every byte written by DMA this step."""
+        return _expand_addresses(self.dma_writes)
+
+    def writes_into(self, region):
+        """``True`` if any CPU write touched *region*."""
+        return any(region.contains(address) for address in self.write_addresses)
+
+    def reads_from(self, region):
+        """``True`` if any CPU read touched *region*."""
+        return any(region.contains(address) for address in self.read_addresses)
+
+    def dma_touches(self, region):
+        """``True`` if any DMA access (read or write) touched *region*."""
+        return any(region.contains(address) for address in self.dma_addresses)
+
+    def dma_writes_into(self, region):
+        """``True`` if any DMA write touched *region*."""
+        return any(region.contains(address) for address in self.dma_write_addresses)
+
+    def pc_in(self, region):
+        """``True`` if the step's program counter lies in *region*."""
+        return region.contains(self.pc)
+
+    def next_pc_in(self, region):
+        """``True`` if the step's next program counter lies in *region*."""
+        return region.contains(self.next_pc)
+
+
+def _expand_addresses(accesses):
+    """Expand a list of sized accesses into individual byte addresses."""
+    out: List[int] = []
+    for access in accesses:
+        for offset in range(access.size):
+            out.append((access.address + offset) & 0xFFFF)
+    return out

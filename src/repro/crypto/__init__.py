@@ -1,0 +1,25 @@
+"""Cryptographic primitives used by the attestation stack.
+
+VRASED's software attestation routine computes an HMAC over the attested
+memory; APEX and ASAP inherit that construction.  The primitives here are
+implemented from scratch (SHA-256 compression function, HMAC, HKDF-style
+key derivation, constant-time comparison) and validated against
+``hashlib`` in the test suite, so the attestation substrate has no
+behavioural dependency on the host's crypto libraries.
+"""
+
+from repro.crypto.sha256 import Sha256, sha256
+from repro.crypto.hmac import Hmac, hmac_sha256, verify_hmac
+from repro.crypto.keys import KeyStore, DeviceKey, derive_key, constant_time_compare
+
+__all__ = [
+    "Sha256",
+    "sha256",
+    "Hmac",
+    "hmac_sha256",
+    "verify_hmac",
+    "KeyStore",
+    "DeviceKey",
+    "derive_key",
+    "constant_time_compare",
+]

@@ -1,0 +1,67 @@
+"""HMAC-SHA-256 (RFC 2104) built on the in-tree SHA-256.
+
+VRASED's SW-Att computes ``HMAC(K, Chal || attested memory)``; APEX and
+ASAP extend the attested memory with the EXEC flag, metadata, ER and OR.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.sha256 import Sha256
+
+_BLOCK_SIZE = 64
+_IPAD = 0x36
+_OPAD = 0x5C
+
+
+class Hmac:
+    """Incremental HMAC-SHA-256."""
+
+    digest_size = 32
+
+    def __init__(self, key, data=b""):
+        key = bytes(key)
+        if len(key) > _BLOCK_SIZE:
+            key = Sha256(key).digest()
+        key = key.ljust(_BLOCK_SIZE, b"\x00")
+        self._outer_key = bytes(byte ^ _OPAD for byte in key)
+        self._inner = Sha256(bytes(byte ^ _IPAD for byte in key))
+        if data:
+            self.update(data)
+
+    def update(self, data):
+        """Absorb *data* into the MAC computation."""
+        self._inner.update(data)
+        return self
+
+    def copy(self):
+        """Return an independent copy of the MAC state."""
+        clone = Hmac.__new__(Hmac)
+        clone._outer_key = self._outer_key
+        clone._inner = self._inner.copy()
+        return clone
+
+    def digest(self):
+        """Return the 32-byte tag."""
+        outer = Sha256(self._outer_key)
+        outer.update(self._inner.digest())
+        return outer.digest()
+
+    def hexdigest(self):
+        """Return the tag as a hexadecimal string."""
+        return self.digest().hex()
+
+
+def hmac_sha256(key, data):
+    """One-shot HMAC-SHA-256 tag of *data* under *key*."""
+    return Hmac(key, data).digest()
+
+
+def verify_hmac(key, data, tag):
+    """Constant-time verification of *tag* against ``HMAC(key, data)``."""
+    expected = hmac_sha256(key, data)
+    if len(expected) != len(tag):
+        return False
+    difference = 0
+    for a, b in zip(expected, bytes(tag)):
+        difference |= a ^ b
+    return difference == 0

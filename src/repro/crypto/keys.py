@@ -1,0 +1,99 @@
+"""Device keys, key derivation and the prover-side key store.
+
+VRASED provisions each device with a unique symmetric key ``K`` at
+manufacture time; the key lives in a ROM region that the hardware
+monitor makes readable only while the program counter is inside the
+attestation code (SW-Att).  :class:`KeyStore` models the verifier-side
+database of device keys, and :func:`derive_key` is the HKDF-like
+expansion both sides use to derive per-purpose sub-keys.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.crypto.hmac import hmac_sha256
+
+
+#: Length of a device master key in bytes.
+KEY_LENGTH = 32
+
+
+def constant_time_compare(a, b):
+    """Compare two byte strings without early exit."""
+    a = bytes(a)
+    b = bytes(b)
+    if len(a) != len(b):
+        return False
+    difference = 0
+    for byte_a, byte_b in zip(a, b):
+        difference |= byte_a ^ byte_b
+    return difference == 0
+
+
+def derive_key(master_key, label, length=KEY_LENGTH):
+    """Derive a sub-key from *master_key* for the given *label*.
+
+    A single-block HKDF-Expand style construction: successive HMAC
+    invocations over ``label || counter`` concatenated until *length*
+    bytes are available.
+    """
+    if isinstance(label, str):
+        label = label.encode("utf-8")
+    output = b""
+    counter = 1
+    while len(output) < length:
+        output += hmac_sha256(master_key, label + bytes([counter]))
+        counter += 1
+    return output[:length]
+
+
+@dataclass(frozen=True)
+class DeviceKey:
+    """A provisioned device identity: ID plus master key."""
+
+    device_id: str
+    master_key: bytes
+
+    def attestation_key(self):
+        """The sub-key used for RA / PoX reports."""
+        return derive_key(self.master_key, "attestation")
+
+    def authentication_key(self):
+        """The sub-key used to authenticate verifier requests."""
+        return derive_key(self.master_key, "request-auth")
+
+
+@dataclass
+class KeyStore:
+    """Verifier-side registry of provisioned devices."""
+
+    _keys: Dict[str, DeviceKey] = field(default_factory=dict)
+
+    def provision(self, device_id, master_key=None):
+        """Create (or re-create) a device entry; returns the :class:`DeviceKey`.
+
+        When *master_key* is omitted a fresh random key is generated.
+        """
+        if master_key is None:
+            master_key = os.urandom(KEY_LENGTH)
+        key = DeviceKey(device_id=device_id, master_key=bytes(master_key))
+        self._keys[device_id] = key
+        return key
+
+    def get(self, device_id):
+        """Return the :class:`DeviceKey` for *device_id*.
+
+        :raises KeyError: if the device has not been provisioned.
+        """
+        return self._keys[device_id]
+
+    def has_device(self, device_id):
+        """Return ``True`` if *device_id* is provisioned."""
+        return device_id in self._keys
+
+    def device_ids(self):
+        """Return all provisioned device identifiers."""
+        return list(self._keys)

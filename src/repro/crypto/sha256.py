@@ -1,0 +1,136 @@
+"""SHA-256 implemented from scratch (FIPS 180-4).
+
+The implementation favours clarity over speed: attested regions in the
+reproduction are a few kilobytes, so a pure-Python compression function
+is more than fast enough, and having the primitive in-tree keeps the
+attestation substrate self-contained (the test suite cross-checks every
+digest against :mod:`hashlib`).
+"""
+
+from __future__ import annotations
+
+import struct
+
+#: SHA-256 round constants (first 32 bits of the fractional parts of the
+#: cube roots of the first 64 primes).
+_K = (
+    0x428A2F98, 0x71374491, 0xB5C0FBCF, 0xE9B5DBA5, 0x3956C25B, 0x59F111F1,
+    0x923F82A4, 0xAB1C5ED5, 0xD807AA98, 0x12835B01, 0x243185BE, 0x550C7DC3,
+    0x72BE5D74, 0x80DEB1FE, 0x9BDC06A7, 0xC19BF174, 0xE49B69C1, 0xEFBE4786,
+    0x0FC19DC6, 0x240CA1CC, 0x2DE92C6F, 0x4A7484AA, 0x5CB0A9DC, 0x76F988DA,
+    0x983E5152, 0xA831C66D, 0xB00327C8, 0xBF597FC7, 0xC6E00BF3, 0xD5A79147,
+    0x06CA6351, 0x14292967, 0x27B70A85, 0x2E1B2138, 0x4D2C6DFC, 0x53380D13,
+    0x650A7354, 0x766A0ABB, 0x81C2C92E, 0x92722C85, 0xA2BFE8A1, 0xA81A664B,
+    0xC24B8B70, 0xC76C51A3, 0xD192E819, 0xD6990624, 0xF40E3585, 0x106AA070,
+    0x19A4C116, 0x1E376C08, 0x2748774C, 0x34B0BCB5, 0x391C0CB3, 0x4ED8AA4A,
+    0x5B9CCA4F, 0x682E6FF3, 0x748F82EE, 0x78A5636F, 0x84C87814, 0x8CC70208,
+    0x90BEFFFA, 0xA4506CEB, 0xBEF9A3F7, 0xC67178F2,
+)
+
+#: Initial hash state (first 32 bits of the fractional parts of the
+#: square roots of the first 8 primes).
+_H0 = (
+    0x6A09E667, 0xBB67AE85, 0x3C6EF372, 0xA54FF53A,
+    0x510E527F, 0x9B05688C, 0x1F83D9AB, 0x5BE0CD19,
+)
+
+_MASK = 0xFFFFFFFF
+
+
+def _rotr(value, amount):
+    """Rotate a 32-bit value right by *amount* bits."""
+    return ((value >> amount) | (value << (32 - amount))) & _MASK
+
+
+class Sha256:
+    """Incremental SHA-256 with the familiar ``update``/``digest`` API."""
+
+    digest_size = 32
+    block_size = 64
+
+    def __init__(self, data=b""):
+        self._state = list(_H0)
+        self._buffer = b""
+        self._length = 0
+        if data:
+            self.update(data)
+
+    def update(self, data):
+        """Absorb *data* (bytes-like) into the hash state."""
+        data = bytes(data)
+        self._length += len(data)
+        self._buffer += data
+        while len(self._buffer) >= 64:
+            self._compress(self._buffer[:64])
+            self._buffer = self._buffer[64:]
+        return self
+
+    def copy(self):
+        """Return an independent copy of the current hash state."""
+        clone = Sha256()
+        clone._state = list(self._state)
+        clone._buffer = self._buffer
+        clone._length = self._length
+        return clone
+
+    def digest(self):
+        """Return the 32-byte digest of everything absorbed so far."""
+        clone = self.copy()
+        clone._pad()
+        return b"".join(struct.pack(">I", word) for word in clone._state)
+
+    def hexdigest(self):
+        """Return the digest as a hexadecimal string."""
+        return self.digest().hex()
+
+    # ------------------------------------------------------------ internals
+
+    def _pad(self):
+        bit_length = self._length * 8
+        self._buffer += b"\x80"
+        while (len(self._buffer) % 64) != 56:
+            self._buffer += b"\x00"
+        self._buffer += struct.pack(">Q", bit_length)
+        while self._buffer:
+            self._compress(self._buffer[:64])
+            self._buffer = self._buffer[64:]
+
+    def _compress(self, block):
+        w = list(struct.unpack(">16I", block))
+        for index in range(16, 64):
+            s0 = _rotr(w[index - 15], 7) ^ _rotr(w[index - 15], 18) ^ (w[index - 15] >> 3)
+            s1 = _rotr(w[index - 2], 17) ^ _rotr(w[index - 2], 19) ^ (w[index - 2] >> 10)
+            w.append((w[index - 16] + s0 + w[index - 7] + s1) & _MASK)
+
+        a, b, c, d, e, f, g, h = self._state
+        for index in range(64):
+            s1 = _rotr(e, 6) ^ _rotr(e, 11) ^ _rotr(e, 25)
+            ch = (e & f) ^ (~e & g)
+            temp1 = (h + s1 + ch + _K[index] + w[index]) & _MASK
+            s0 = _rotr(a, 2) ^ _rotr(a, 13) ^ _rotr(a, 22)
+            maj = (a & b) ^ (a & c) ^ (b & c)
+            temp2 = (s0 + maj) & _MASK
+            h = g
+            g = f
+            f = e
+            e = (d + temp1) & _MASK
+            d = c
+            c = b
+            b = a
+            a = (temp1 + temp2) & _MASK
+
+        self._state = [
+            (self._state[0] + a) & _MASK,
+            (self._state[1] + b) & _MASK,
+            (self._state[2] + c) & _MASK,
+            (self._state[3] + d) & _MASK,
+            (self._state[4] + e) & _MASK,
+            (self._state[5] + f) & _MASK,
+            (self._state[6] + g) & _MASK,
+            (self._state[7] + h) & _MASK,
+        ]
+
+
+def sha256(data):
+    """One-shot SHA-256: return the 32-byte digest of *data*."""
+    return Sha256(data).digest()

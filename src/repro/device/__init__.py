@@ -1,0 +1,24 @@
+"""Device composition: the full MCU (CPU + memory + peripherals + monitors).
+
+:class:`repro.device.Device` is the reproduction's stand-in for the
+openMSP430 SoC the paper prototyped on: it wires the CPU core, the
+memory, the interrupt controller and the peripherals together, lets
+security monitors (VRASED / APEX / ASAP hardware modules) observe every
+per-step signal bundle, and records traces that the waveform benches
+turn into the paper's Fig. 5.
+"""
+
+from repro.device.trace import TraceRecorder, TraceEntry, Waveform
+from repro.device.mcu import Device, DeviceConfig, ScheduledEvent
+from repro.device.vcd import VcdWriter, export_vcd
+
+__all__ = [
+    "TraceRecorder",
+    "TraceEntry",
+    "Waveform",
+    "Device",
+    "DeviceConfig",
+    "ScheduledEvent",
+    "VcdWriter",
+    "export_vcd",
+]

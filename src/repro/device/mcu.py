@@ -1,0 +1,285 @@
+"""The composed MCU device.
+
+:class:`Device` is the behavioral equivalent of the openMSP430 SoC used
+by the paper's prototype: CPU core, 64 KiB memory with the IVT in its
+last 32 bytes, GPIO/timer/UART/DMA/watchdog peripherals, an interrupt
+controller, and a set of attached *hardware monitors* (the VRASED, APEX
+and ASAP modules) that observe every step's signal bundle exactly the
+way the Verilog modules observe the MCU buses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.cpu.core import CPU, CPUError
+from repro.cpu.signals import MemoryWrite, SignalBundle
+from repro.device.trace import TraceRecorder
+from repro.memory.ivt import InterruptVectorTable
+from repro.memory.layout import MemoryLayout
+from repro.memory.memory import Memory
+from repro.peripherals.dma import DmaController
+from repro.peripherals.gpio import GpioPort
+from repro.peripherals.interrupt_controller import InterruptController
+from repro.peripherals.registers import InterruptVectors, PeripheralRegisters
+from repro.peripherals.timer import TimerA
+from repro.peripherals.uart import Uart
+from repro.peripherals.watchdog import Watchdog
+
+
+@dataclass
+class DeviceConfig:
+    """Construction parameters for a :class:`Device`.
+
+    ``stack_top`` is where the reset sequence points SP (top of data
+    memory by default); ``trace_enabled`` controls whether every step is
+    recorded (benches measuring raw simulation speed can turn it off).
+    """
+
+    layout: MemoryLayout = field(default_factory=MemoryLayout.default)
+    stack_top: Optional[int] = None
+    trace_enabled: bool = True
+
+    def resolved_stack_top(self):
+        """Return the effective initial stack pointer."""
+        if self.stack_top is not None:
+            return self.stack_top
+        # Stack grows down from the top of data memory (word aligned).
+        return (self.layout.data.end + 1) & 0xFFFE
+
+
+@dataclass
+class ScheduledEvent:
+    """An external event scheduled to fire at a given step number."""
+
+    step: int
+    action: Callable[["Device"], None]
+    label: str = ""
+    fired: bool = False
+
+
+class Device:
+    """A complete simulated MCU."""
+
+    def __init__(self, config: Optional[DeviceConfig] = None):
+        self.config = config or DeviceConfig()
+        self.layout = self.config.layout
+        self.memory = Memory()
+        self.ivt = InterruptVectorTable(self.memory)
+        self.cpu = CPU(self.memory, self.ivt)
+
+        self.interrupt_controller = InterruptController()
+        self.gpio1 = GpioPort(
+            self.memory, "port1",
+            PeripheralRegisters.P1IN, PeripheralRegisters.P1OUT,
+            PeripheralRegisters.P1DIR, PeripheralRegisters.P1IFG,
+            PeripheralRegisters.P1IE, ivt_index=InterruptVectors.PORT1,
+        )
+        self.gpio5 = GpioPort(
+            self.memory, "port5",
+            PeripheralRegisters.P5IN, PeripheralRegisters.P5OUT,
+            PeripheralRegisters.P5DIR, PeripheralRegisters.P5IFG,
+            PeripheralRegisters.P5IE, ivt_index=InterruptVectors.PORT5,
+        )
+        self.timer = TimerA(self.memory)
+        self.uart = Uart(self.memory)
+        self.dma = DmaController(self.memory)
+        self.watchdog = Watchdog(self.memory)
+        self.peripherals = [
+            self.gpio1, self.gpio5, self.timer, self.uart, self.dma, self.watchdog,
+        ]
+        for peripheral in self.peripherals:
+            self.interrupt_controller.attach(peripheral)
+
+        self.monitors: List[object] = []
+        self.trace = TraceRecorder(enabled=self.config.trace_enabled)
+        self._events: List[ScheduledEvent] = []
+        self._last_step_cycles = 0
+        self.step_number = 0
+        #: Set when the CPU hit an illegal instruction (e.g. it was tricked
+        #: into jumping through an unprogrammed interrupt vector).  A real
+        #: MCU would behave unpredictably; the simulation latches the crash
+        #: and stops making progress instead of raising out of the run loop.
+        self.crashed = False
+        self.crash_reason = ""
+
+    # ------------------------------------------------------------ setup
+
+    def attach_monitor(self, monitor):
+        """Attach a hardware monitor (an object with ``observe(bundle)``)."""
+        self.monitors.append(monitor)
+        return monitor
+
+    def detach_monitor(self, monitor):
+        """Remove a previously attached monitor."""
+        self.monitors.remove(monitor)
+
+    def load_image(self, image):
+        """Flash an :class:`~repro.isa.assembler.AssembledImage` into memory."""
+        image.write_to(self.memory)
+
+    def reset(self):
+        """Reset peripherals, CPU (PC from reset vector) and monitors."""
+        for peripheral in self.peripherals:
+            peripheral.reset()
+        self.cpu.reset(stack_top=self.config.resolved_stack_top())
+        for monitor in self.monitors:
+            if hasattr(monitor, "reset"):
+                monitor.reset()
+        self.trace.clear()
+        self._events = []
+        self._last_step_cycles = 0
+        self.step_number = 0
+        self.crashed = False
+        self.crash_reason = ""
+
+    def schedule(self, step, action, label=""):
+        """Schedule *action(device)* to run just before step number *step*."""
+        event = ScheduledEvent(step=step, action=action, label=label)
+        self._events.append(event)
+        return event
+
+    def schedule_button_press(self, step, port=None, pin_mask=0x01):
+        """Schedule a GPIO button press (default: port 1, pin 0)."""
+        target = port or self.gpio1
+        return self.schedule(
+            step, lambda device: target.press_button(pin_mask), label="button-press"
+        )
+
+    def schedule_uart_rx(self, step, data):
+        """Schedule the arrival of UART bytes."""
+        return self.schedule(
+            step, lambda device: device.uart.receive_bytes(data), label="uart-rx"
+        )
+
+    # ------------------------------------------------------------ stepping
+
+    def step(self):
+        """Advance the whole device by one step; return the signal bundle."""
+        self.step_number += 1
+        if self.crashed:
+            return self._crash_bundle()
+        self._fire_events()
+
+        for peripheral in self.peripherals:
+            peripheral.tick(self._last_step_cycles)
+
+        pending = self.interrupt_controller.highest_pending()
+        try:
+            result = self.cpu.step(pending)
+        except CPUError as error:
+            self.crashed = True
+            self.crash_reason = str(error)
+            return self._crash_bundle()
+        bundle = result.bundle
+        self._last_step_cycles = bundle.cycles_consumed
+
+        dma_reads, dma_writes = self.dma.collect_activity()
+        if dma_reads or dma_writes:
+            bundle.dma_en = True
+            bundle.dma_reads = dma_reads
+            bundle.dma_writes = dma_writes
+
+        if result.serviced_interrupt is not None:
+            self.interrupt_controller.acknowledge(result.serviced_interrupt)
+
+        monitor_signals: Dict[str, int] = {}
+        for monitor in self.monitors:
+            monitor.observe(bundle)
+            if hasattr(monitor, "signal_values"):
+                monitor_signals.update(monitor.signal_values())
+
+        self.trace.record(bundle, monitor_signals)
+        return bundle
+
+    def _fire_events(self):
+        for event in self._events:
+            if not event.fired and event.step <= self.step_number:
+                event.fired = True
+                event.action(self)
+
+    def _crash_bundle(self):
+        """Synthetic bundle emitted once the device has crashed."""
+        bundle = SignalBundle(
+            cycle=self.cpu.step_count,
+            pc=self.cpu.pc,
+            next_pc=self.cpu.pc,
+            instruction="(crashed: %s)" % self.crash_reason,
+            cycles_consumed=1,
+        )
+        self.trace.record(bundle, {})
+        return bundle
+
+    # ------------------------------------------------------------ running
+
+    def run(self, max_steps=10000, stop_condition=None):
+        """Run until *stop_condition(bundle, device)* is true or *max_steps*.
+
+        Returns the number of steps executed.
+        """
+        executed = 0
+        for _ in range(max_steps):
+            bundle = self.step()
+            executed += 1
+            if self.crashed:
+                break
+            if stop_condition is not None and stop_condition(bundle, self):
+                break
+        return executed
+
+    def run_until_pc(self, address, max_steps=10000):
+        """Run until the program counter reaches *address*.
+
+        Returns ``True`` if the address was reached within *max_steps*.
+        """
+        target = address & 0xFFFF
+
+        def reached(bundle, _device):
+            return bundle.next_pc == target or bundle.pc == target
+
+        executed = self.run(max_steps=max_steps, stop_condition=reached)
+        return executed < max_steps or self.cpu.pc == target
+
+    def run_steps(self, count):
+        """Run exactly *count* steps."""
+        for _ in range(count):
+            self.step()
+
+    # ------------------------------------------------------------ helpers
+
+    @property
+    def total_cycles(self):
+        """Total CPU cycles simulated so far."""
+        return self.cpu.cycle_count
+
+    def word_at(self, address):
+        """Convenience: read a word without generating bus traffic."""
+        return self.memory.peek_word(address)
+
+    def write_word_as_cpu(self, address, value):
+        """Perform a software (CPU-initiated) word write at the current PC.
+
+        The write goes to memory *and* is reported to the attached
+        monitors as a one-step signal bundle whose ``Wen``/``Daddr``
+        reflect the access, so hardware rules such as ASAP's [AP1] see it
+        exactly as they would see a ``MOV`` executed by malware.  Used by
+        attack scenarios and tests to model ad-hoc software writes
+        without assembling a payload.
+        """
+        self.memory.write_word(address, value)
+        bundle = SignalBundle(
+            cycle=self.cpu.step_count,
+            pc=self.cpu.pc,
+            next_pc=self.cpu.pc,
+            instruction="(software write to 0x%04X)" % (address & 0xFFFF),
+            writes=[MemoryWrite(address & 0xFFFE, value & 0xFFFF, 2)],
+            cycles_consumed=1,
+        )
+        monitor_signals = {}
+        for monitor in self.monitors:
+            monitor.observe(bundle)
+            if hasattr(monitor, "signal_values"):
+                monitor_signals.update(monitor.signal_values())
+        self.trace.record(bundle, monitor_signals)
+        return bundle

@@ -1,0 +1,30 @@
+"""Programmatic experiment runners.
+
+Each function regenerates one artifact of the paper's evaluation and
+returns an :class:`ExperimentResult` containing structured rows plus a
+rendered text block.  ``python -m repro.experiments`` runs all of them
+and prints a consolidated report (the same content the benchmark
+harness prints, without the timing machinery).
+"""
+
+from repro.experiments.runners import (
+    ExperimentResult,
+    run_fig5_waveforms,
+    run_fig6_overhead,
+    run_verification_cost,
+    run_runtime_overhead,
+    run_busywait_ablation,
+    run_security_scenarios,
+    run_all_experiments,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "run_fig5_waveforms",
+    "run_fig6_overhead",
+    "run_verification_cost",
+    "run_runtime_overhead",
+    "run_busywait_ablation",
+    "run_security_scenarios",
+    "run_all_experiments",
+]

@@ -1,0 +1,44 @@
+"""Command-line entry point: ``python -m repro.experiments``.
+
+Runs every experiment runner and prints the consolidated report.  Pass
+experiment ids (e.g. ``E6 E9``) to run a subset; pass ``--list`` to see
+the available ids.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.runners import run_all_experiments
+
+ALL_IDS = ["E1-E3", "E4-E5", "E6", "E7", "E8", "E9"]
+
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if "--list" in argv:
+        for experiment_id in ALL_IDS:
+            print(experiment_id)
+        return 0
+    selected = [argument for argument in argv if not argument.startswith("-")]
+    skip = None
+    if selected:
+        unknown = [item for item in selected if item not in ALL_IDS]
+        if unknown:
+            print("unknown experiment ids: %s" % ", ".join(unknown))
+            return 2
+        skip = [experiment_id for experiment_id in ALL_IDS if experiment_id not in selected]
+    results = run_all_experiments(skip=skip)
+    for result in results:
+        print(result.render())
+        print()
+    failed = [result.experiment_id for result in results if not result.succeeded]
+    if failed:
+        print("FAILED experiments: %s" % ", ".join(failed))
+        return 1
+    print("All %d experiments reproduce the expected shape." % len(results))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""Firmware: the application programs, scenario harness and attack suite.
+
+The paper motivates ASAP with a syringe-pump application (Section 3) and
+evaluates it with firmware whose trusted ISRs are linked inside ER
+(Fig. 4).  This package contains:
+
+* :mod:`repro.firmware.testbench` -- :class:`PoxTestbench`, a one-call
+  harness that links firmware, builds a device, attaches the chosen
+  monitor (APEX or ASAP) and wires up the PoX protocol; used by the
+  examples, the tests and every bench.
+* :mod:`repro.firmware.syringe_pump` -- the interrupt-driven syringe
+  pump (timer-controlled dosage + asynchronous abort) and its busy-wait
+  workaround variant.
+* :mod:`repro.firmware.sensor_logger` -- a sensor-sampling application
+  with a UART command ISR.
+* :mod:`repro.firmware.blinker` -- the paper's minimal Fig. 4 example
+  (a dummy loop plus a GPIO ISR that drives PORT5).
+* :mod:`repro.firmware.attacks` -- adversarial scenarios exercising the
+  security argument (IVT tampering, ER/OR modification, untrusted
+  interrupts, mid-ER entry, report forgery).
+"""
+
+from repro.firmware.testbench import PoxTestbench, TestbenchConfig
+from repro.firmware.blinker import blinker_firmware
+from repro.firmware.syringe_pump import (
+    syringe_pump_firmware,
+    busy_wait_pump_firmware,
+    PumpParameters,
+    PUMP_OUTPUT_LAYOUT,
+)
+from repro.firmware.sensor_logger import sensor_logger_firmware, SensorParameters
+from repro.firmware.attacks import AttackScenario, attack_suite
+
+__all__ = [
+    "PoxTestbench",
+    "TestbenchConfig",
+    "blinker_firmware",
+    "syringe_pump_firmware",
+    "busy_wait_pump_firmware",
+    "PumpParameters",
+    "PUMP_OUTPUT_LAYOUT",
+    "sensor_logger_firmware",
+    "SensorParameters",
+    "AttackScenario",
+    "attack_suite",
+]

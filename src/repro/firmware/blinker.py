@@ -1,0 +1,109 @@
+"""The paper's Fig. 4 example firmware.
+
+A "dummy function" executes a bounded loop inside ER while a trusted ISR
+-- triggered by an asynchronous signal on GPIO PORT1 (e.g. a button
+press) -- writes GPIO PORT5.  An additional *untrusted* ISR living
+outside ER is provided so the same image can also demonstrate the
+Fig. 5(b) scenario (unauthorized interrupt).
+
+The ER structure follows the paper exactly: ``startER()`` (section
+``exec.start``) calls the dummy function, the dummy function and the
+trusted ISR carry the ``exec.body`` label, and ``exitER()`` (section
+``exec.leave``) concludes the provable execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.firmware.testbench import FirmwareSpec
+from repro.peripherals.registers import InterruptVectors, PeripheralRegisters
+
+
+@dataclass(frozen=True)
+class BlinkerParameters:
+    """Tunable knobs of the blinker firmware."""
+
+    loop_iterations: int = 40
+    or_base: int = 0x0600
+    port5_pattern: int = 0x10
+
+
+def blinker_source(params: BlinkerParameters) -> str:
+    """Generate the blinker assembly source."""
+    return """
+; ---------------------------------------------------------------- ER ---
+    .section exec.start
+ER_entry:                       ; startER(): the provable execution begins
+    EINT                        ; allow the trusted asynchronous behaviour
+    CALL #dummy_function
+    DINT
+    BR #ER_exit
+
+    .section exec.body
+dummy_function:                 ; the paper's bounded dummy loop
+    MOV #0, R6
+dummy_loop:
+    INC R6
+    CMP #{iterations}, R6
+    JNE dummy_loop
+    MOV R6, &{or_base}          ; deposit the loop count in the output region
+    RET
+
+trusted_isr:                    ; ISR for the authorized PORT1 interrupt
+    BIS.B #{pattern}, &{p5out}  ; drive GPIO PORT5 (the paper's example action)
+    MOV.B &{p1in}, &{or_flag}   ; record the observed input in OR
+    RETI
+
+    .section exec.leave
+ER_exit:                        ; exitER(): concludes the provable execution
+    RET
+
+; --------------------------------------------------------- untrusted ---
+    .section .text
+main:                           ; untrusted application code outside ER
+    MOV #0x5A80, &{wdtctl}      ; stop the watchdog
+idle:
+    NOP
+    JMP idle
+
+untrusted_isr:                  ; an ISR that was NOT linked into ER
+    BIC.B #{pattern}, &{p5out}
+    RETI
+""".format(
+        iterations=params.loop_iterations,
+        or_base="0x%04X" % params.or_base,
+        or_flag="0x%04X" % (params.or_base + 2),
+        pattern="0x%02X" % params.port5_pattern,
+        p5out="0x%04X" % PeripheralRegisters.P5OUT,
+        p1in="0x%04X" % PeripheralRegisters.P1IN,
+        wdtctl="0x%04X" % PeripheralRegisters.WDTCTL,
+    )
+
+
+def blinker_firmware(params: BlinkerParameters = BlinkerParameters(),
+                     authorized=True) -> FirmwareSpec:
+    """Build the Fig. 4 firmware.
+
+    ``authorized=True`` wires the PORT1 interrupt to the trusted ISR
+    inside ER (the Fig. 5(a) scenario); ``authorized=False`` wires it to
+    the untrusted ISR outside ER (the Fig. 5(b) scenario).
+    """
+    source = blinker_source(params)
+    if authorized:
+        trusted = {InterruptVectors.PORT1: "trusted_isr"}
+        untrusted = {InterruptVectors.PORT5: "untrusted_isr"}
+    else:
+        trusted = {}
+        untrusted = {
+            InterruptVectors.PORT1: "untrusted_isr",
+            InterruptVectors.PORT5: "untrusted_isr",
+        }
+    return FirmwareSpec(
+        name="blinker-%s" % ("authorized" if authorized else "unauthorized"),
+        source=source,
+        trusted_isrs=trusted,
+        untrusted_isrs=untrusted,
+        reset_symbol="main",
+        description="Paper Fig. 4 example: dummy loop + GPIO ISR",
+    )

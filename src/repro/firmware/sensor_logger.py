@@ -1,0 +1,101 @@
+"""A sensor-sampling application with an asynchronous command channel.
+
+This is the second domain-specific workload: a "sensor that cannot lie".
+The ER samples a GPIO-connected sensor a fixed number of times,
+accumulates the readings into the output region, and -- thanks to ASAP
+-- can still react to operator commands arriving over the UART while it
+runs (the UART RX ISR is a trusted ISR linked inside ER and records the
+last command byte in the output region, bound to the same proof).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.firmware.testbench import FirmwareSpec
+from repro.peripherals.registers import InterruptVectors, PeripheralRegisters
+
+
+#: Output-region word layout of the sensor logger.
+SENSOR_OUTPUT_LAYOUT = {
+    "sum": 0,        # word 0: sum of the samples
+    "count": 1,      # word 1: number of samples taken
+    "command": 2,    # word 2: last command byte received over the UART
+}
+
+
+@dataclass(frozen=True)
+class SensorParameters:
+    """Tunable knobs of the sensor-logger firmware."""
+
+    samples: int = 16
+    or_base: int = 0x0600
+
+    def output_address(self, field):
+        """Address of a named output word (see SENSOR_OUTPUT_LAYOUT)."""
+        return self.or_base + 2 * SENSOR_OUTPUT_LAYOUT[field]
+
+
+def sensor_logger_source(params: SensorParameters) -> str:
+    """Generate the sensor-logger assembly source."""
+    return """
+; ---------------------------------------------------------------- ER ---
+    .section exec.start
+ER_entry:
+    MOV #0, R8                  ; sample counter
+    MOV #0, R9                  ; accumulator
+    MOV #0, &{or_command}
+    EINT                        ; commands may arrive at any time
+sample_loop:
+    MOV.B &{p1in}, R7           ; read the sensor (GPIO PORT1 input)
+    ADD R7, R9
+    INC R8
+    CMP #{samples}, R8
+    JNE sample_loop
+    DINT
+    MOV R9, &{or_sum}           ; publish the accumulated reading
+    MOV R8, &{or_count}
+    BR #ER_exit
+
+    .section exec.body
+uart_command_isr:               ; trusted: operator command over the network
+    MOV.B &{urxbuf}, R11
+    MOV R11, &{or_command}      ; bind the command to the same proof
+    RETI
+
+    .section exec.leave
+ER_exit:
+    RET
+
+; --------------------------------------------------------- untrusted ---
+    .section .text
+main:
+    MOV #0x5A80, &{wdtctl}
+idle:
+    NOP
+    JMP idle
+
+untrusted_isr:
+    RETI
+""".format(
+        samples=params.samples,
+        p1in="0x%04X" % PeripheralRegisters.P1IN,
+        urxbuf="0x%04X" % PeripheralRegisters.URXBUF,
+        or_sum="0x%04X" % params.output_address("sum"),
+        or_count="0x%04X" % params.output_address("count"),
+        or_command="0x%04X" % params.output_address("command"),
+        wdtctl="0x%04X" % PeripheralRegisters.WDTCTL,
+    )
+
+
+def sensor_logger_firmware(params: SensorParameters = SensorParameters()) -> FirmwareSpec:
+    """The sensor-logger firmware with a trusted UART command ISR."""
+    return FirmwareSpec(
+        name="sensor-logger",
+        source=sensor_logger_source(params),
+        trusted_isrs={InterruptVectors.UART_RX: "uart_command_isr"},
+        untrusted_isrs={InterruptVectors.PORT5: "untrusted_isr"},
+        reset_symbol="main",
+        description="Sensor sampling with an asynchronous UART command ISR "
+                    "linked inside ER",
+    )

@@ -1,0 +1,187 @@
+"""The syringe-pump firmware of the paper's Section 3.
+
+The interrupt-driven variant implements the four steps of the paper's
+example verbatim:
+
+1. start injecting medication at a fixed rate (drive the pump GPIO),
+2. set up a timer interrupt according to the dosage to be injected,
+3. enter sleep / low-power mode,
+4. wake up once the timer expires and stop the injection.
+
+Two *trusted* ISRs are linked inside ER: the timer ISR that ends the
+dosage, and an abort ISR (GPIO button or UART network command) that
+stops the injection immediately and records the partial dosage -- the
+safety-critical asynchronous behaviour APEX cannot support.
+
+The busy-wait variant is the paper's workaround for plain APEX: the CPU
+actively counts down instead of sleeping, interrupts stay disabled, and
+an abort request can only be observed after the full dosage has been
+delivered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.firmware.testbench import FirmwareSpec
+from repro.peripherals.registers import InterruptVectors, PeripheralRegisters
+
+
+#: Output-region word layout used by both pump variants.
+PUMP_OUTPUT_LAYOUT = {
+    "delivered": 0,   # word 0: dosage delivered (timer ticks)
+    "status": 1,      # word 1: 0 = in progress, 1 = completed, 2 = aborted
+    "command": 2,     # word 2: last abort command byte received (if any)
+}
+
+#: Status codes written to the output region.
+STATUS_IN_PROGRESS = 0
+STATUS_COMPLETED = 1
+STATUS_ABORTED = 2
+
+#: Pump actuation bit on GPIO PORT5.
+PUMP_PIN = 0x01
+
+
+@dataclass(frozen=True)
+class PumpParameters:
+    """Tunable knobs of the syringe-pump firmware."""
+
+    dosage_cycles: int = 300
+    or_base: int = 0x0600
+
+    def output_address(self, field):
+        """Address of a named output word (see PUMP_OUTPUT_LAYOUT)."""
+        return self.or_base + 2 * PUMP_OUTPUT_LAYOUT[field]
+
+
+def _common_untrusted_section():
+    return """
+; --------------------------------------------------------- untrusted ---
+    .section .text
+main:                           ; untrusted application code outside ER
+    MOV #0x5A80, &{wdtctl}      ; stop the watchdog
+idle:
+    NOP
+    JMP idle
+
+untrusted_isr:                  ; present so unauthorized vectors have a target
+    RETI
+""".format(wdtctl="0x%04X" % PeripheralRegisters.WDTCTL)
+
+
+def pump_source(params: PumpParameters) -> str:
+    """Generate the interrupt-driven syringe-pump assembly source."""
+    return """
+; ---------------------------------------------------------------- ER ---
+    .section exec.start
+ER_entry:                       ; step (1): start injecting at a fixed rate
+    BIS.B #{pump_pin}, &{p5out}
+    MOV #0, &{or_status}
+    MOV #0, &{or_delivered}
+    ; step (2): program the dosage timer and enable its compare interrupt
+    MOV #{dosage}, &{taccr0}
+    MOV #0x0010, &{tacctl0}     ; CCIE
+    MOV #0x0014, &{tactl}       ; ENABLE | CLEAR
+    ; step (3): sleep until an interrupt arrives (GIE + CPUOFF)
+    BIS #0x0018, SR
+    ; step (4): an ISR woke us up; conclude the provable execution
+    DINT
+    BR #ER_exit
+
+    .section exec.body
+timer_isr:                      ; trusted: the dosage is complete
+    BIC.B #{pump_pin}, &{p5out} ; stop the injection
+    MOV #0, &{tactl}            ; stop the timer
+    MOV #{dosage}, &{or_delivered}
+    MOV #{completed}, &{or_status}
+    BIC #0x0010, 0(SP)          ; clear CPUOFF in the stacked SR: stay awake
+    RETI
+
+abort_isr:                      ; trusted: asynchronous emergency abort
+    BIC.B #{pump_pin}, &{p5out} ; stop the injection immediately
+    MOV #0, &{tactl}
+    MOV &{tar}, &{or_delivered} ; partial dosage delivered so far
+    MOV #{aborted}, &{or_status}
+    MOV.B &{urxbuf}, &{or_command}
+    BIC #0x0010, 0(SP)
+    RETI
+
+    .section exec.leave
+ER_exit:
+    RET
+""".format(
+        pump_pin="0x%02X" % PUMP_PIN,
+        p5out="0x%04X" % PeripheralRegisters.P5OUT,
+        dosage=params.dosage_cycles,
+        taccr0="0x%04X" % PeripheralRegisters.TACCR0,
+        tacctl0="0x%04X" % PeripheralRegisters.TACCTL0,
+        tactl="0x%04X" % PeripheralRegisters.TACTL,
+        tar="0x%04X" % PeripheralRegisters.TAR,
+        urxbuf="0x%04X" % PeripheralRegisters.URXBUF,
+        or_delivered="0x%04X" % params.output_address("delivered"),
+        or_status="0x%04X" % params.output_address("status"),
+        or_command="0x%04X" % params.output_address("command"),
+        completed=STATUS_COMPLETED,
+        aborted=STATUS_ABORTED,
+    ) + _common_untrusted_section()
+
+
+def busy_wait_source(params: PumpParameters) -> str:
+    """Generate the busy-wait workaround variant (no interrupts)."""
+    return """
+; ---------------------------------------------------------------- ER ---
+    .section exec.start
+ER_entry:                       ; busy-wait workaround: no interrupts allowed
+    BIS.B #{pump_pin}, &{p5out} ; start injecting
+    MOV #0, &{or_status}
+    MOV #{dosage}, R7           ; the CPU itself counts the dosage down
+busy_loop:
+    DEC R7
+    JNE busy_loop
+    BIC.B #{pump_pin}, &{p5out} ; stop injecting
+    MOV #{dosage}, &{or_delivered}
+    MOV #{completed}, &{or_status}
+    BR #ER_exit
+
+    .section exec.leave
+ER_exit:
+    RET
+""".format(
+        pump_pin="0x%02X" % PUMP_PIN,
+        p5out="0x%04X" % PeripheralRegisters.P5OUT,
+        dosage=params.dosage_cycles,
+        or_delivered="0x%04X" % params.output_address("delivered"),
+        or_status="0x%04X" % params.output_address("status"),
+        completed=STATUS_COMPLETED,
+    ) + _common_untrusted_section()
+
+
+def syringe_pump_firmware(params: PumpParameters = PumpParameters()) -> FirmwareSpec:
+    """The interrupt-driven syringe pump (trusted timer + abort ISRs)."""
+    return FirmwareSpec(
+        name="syringe-pump",
+        source=pump_source(params),
+        trusted_isrs={
+            InterruptVectors.TIMER_A0: "timer_isr",
+            InterruptVectors.PORT1: "abort_isr",
+            InterruptVectors.UART_RX: "abort_isr",
+        },
+        untrusted_isrs={InterruptVectors.PORT5: "untrusted_isr"},
+        reset_symbol="main",
+        description="Section 3 syringe pump: timer-bounded dosage with "
+                    "asynchronous abort, all ISRs linked inside ER",
+    )
+
+
+def busy_wait_pump_firmware(params: PumpParameters = PumpParameters()) -> FirmwareSpec:
+    """The busy-wait workaround variant (works under plain APEX)."""
+    return FirmwareSpec(
+        name="syringe-pump-busy-wait",
+        source=busy_wait_source(params),
+        trusted_isrs={},
+        untrusted_isrs={},
+        reset_symbol="main",
+        description="Section 3 workaround: the CPU busy-waits for the dosage "
+                    "period, no interrupts, no abort capability",
+    )

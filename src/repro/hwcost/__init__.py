@@ -1,0 +1,62 @@
+"""Hardware-cost model: LUT/register estimates for the monitor modules.
+
+The paper's Fig. 6 compares the FPGA resource overhead of APEX and ASAP
+(look-up tables and registers added on top of the unmodified core) and
+finds that ASAP needs ~24 fewer LUTs and ~3 fewer registers than APEX:
+dropping the global ``irq``-monitoring logic (LTL 3) saves more than the
+new two-state IVT-guard FSM costs.
+
+Without a synthesis tool, the reproduction estimates costs structurally:
+each monitor is described as a netlist of primitives (registers,
+equality/range comparators, FSM state, glue logic), and a simple LUT4
+packing model converts combinational fan-in into LUT counts.  Absolute
+numbers are therefore estimates, but the *relative* comparison -- which
+architecture is larger and by roughly how much -- is derived from the
+same structural differences the paper describes (Section 5).
+"""
+
+from repro.hwcost.netlist import (
+    Component,
+    Module,
+    register,
+    equality_comparator,
+    magnitude_comparator,
+    range_checker,
+    logic_function,
+    fsm_state,
+)
+from repro.hwcost.monitors import (
+    vrased_hwmod,
+    apex_hwmod,
+    asap_hwmod,
+    apex_overhead_module,
+    asap_overhead_module,
+)
+from repro.hwcost.report import (
+    CostReport,
+    ComparisonReport,
+    synthesize_monitor,
+    compare_costs,
+    figure6_comparison,
+)
+
+__all__ = [
+    "Component",
+    "Module",
+    "register",
+    "equality_comparator",
+    "magnitude_comparator",
+    "range_checker",
+    "logic_function",
+    "fsm_state",
+    "vrased_hwmod",
+    "apex_hwmod",
+    "asap_hwmod",
+    "apex_overhead_module",
+    "asap_overhead_module",
+    "CostReport",
+    "ComparisonReport",
+    "synthesize_monitor",
+    "compare_costs",
+    "figure6_comparison",
+]

@@ -1,0 +1,160 @@
+"""Structural (netlist-level) descriptions of the monitor hardware.
+
+Three modules are described with the primitives of
+:mod:`repro.hwcost.netlist`:
+
+* :func:`vrased_hwmod` -- the VRASED access-control/atomicity monitor
+  both architectures build on;
+* :func:`apex_hwmod` -- VRASED + the shared PoX core + APEX's
+  ``irq``-monitoring logic (LTL 3 requires the interrupt-request signal
+  to be synchronised, latched and propagated into every protection
+  submodule -- the paper names this as the source of APEX's extra cost);
+* :func:`asap_hwmod` -- VRASED + the same shared PoX core + the ASAP
+  IVT-guard FSM of Fig. 3 (whose IVT membership test is a cheap
+  upper-address-bits decode because the IVT occupies the top 32 bytes of
+  the address space).
+
+The component inventory mirrors the submodule structure of the public
+APEX/VRASED Verilog (exec FSM, ER/OR/metadata write protection, DMA
+monitor, atomicity FSM, reset control); the LUT/register numbers come
+from the packing model, not from a lookup table of expected results.
+"""
+
+from __future__ import annotations
+
+from repro.hwcost.netlist import (
+    Module,
+    aligned_region_decoder,
+    equality_comparator,
+    fsm_state,
+    logic_function,
+    magnitude_comparator,
+    range_checker,
+    register,
+)
+
+
+#: The protection submodules into which APEX must propagate the irq signal
+#: (paper Section 5: "APEX requires monitoring the irq signal, which is
+#: propagated into several sub-modules to enforce LTL 3").
+IRQ_CONSUMER_SUBMODULES = (
+    "exec_fsm",
+    "atomicity_fsm",
+    "er_write_protect",
+    "or_write_protect",
+    "metadata_protect",
+    "dma_monitor",
+    "reset_control",
+)
+
+
+def vrased_hwmod() -> Module:
+    """The VRASED hardware monitor (key access control + SW-Att atomicity)."""
+    module = Module("vrased_hwmod")
+    # Key access control: PC and Daddr/DMA address against the key region.
+    module.add(range_checker("pc_in_swatt", 16))
+    module.add(range_checker("daddr_in_key", 16))
+    module.add(range_checker("dmaaddr_in_key", 16))
+    module.add(range_checker("daddr_in_swatt", 16))
+    module.add(range_checker("dmaaddr_in_swatt", 16))
+    # Atomicity: entry/exit point comparators and the previous-PC state.
+    module.add(equality_comparator("pc_eq_swatt_entry", 16))
+    module.add(equality_comparator("pc_eq_swatt_exit", 16))
+    module.add(register("pc_in_swatt_prev", 1))
+    # Violation FSM (run / violation / reset states).
+    module.add(fsm_state("vrased_fsm", states=3, transition_inputs=8))
+    module.add(logic_function("violation_combiner", inputs=8))
+    module.add(register("reset_request", 1))
+    return module
+
+
+def pox_core() -> Module:
+    """The PoX logic shared verbatim by APEX and ASAP.
+
+    ER/OR/metadata geometry comparators, the EXEC flag and the execution
+    state machine.  ASAP reuses all of it unchanged ([AP2] adds no
+    hardware because ISR protection comes from the existing ER
+    protection).
+    """
+    module = Module("pox_core")
+    # Boundary registers for the configurable ER and OR (metadata-resident
+    # values latched into the module).
+    module.add(register("er_min_reg", 16))
+    module.add(register("er_max_reg", 16))
+    module.add(register("or_min_reg", 16))
+    module.add(register("or_max_reg", 16))
+    # Program-counter classification.
+    module.add(range_checker("pc_in_er", 16))
+    module.add(equality_comparator("pc_eq_er_min", 16))
+    module.add(equality_comparator("pc_eq_er_max", 16))
+    module.add(register("pc_in_er_prev", 1))
+    # Write-protection address decoding (CPU and DMA).
+    module.add(range_checker("daddr_in_er", 16))
+    module.add(range_checker("daddr_in_or", 16))
+    module.add(range_checker("daddr_in_meta", 16))
+    module.add(range_checker("dmaaddr_in_er", 16))
+    module.add(range_checker("dmaaddr_in_or", 16))
+    module.add(range_checker("dmaaddr_in_meta", 16))
+    # EXEC flag and the execution FSM.
+    module.add(register("exec_flag", 1))
+    module.add(fsm_state("exec_fsm", states=4, transition_inputs=10))
+    module.add(logic_function("violation_combiner", inputs=10, outputs=2))
+    module.add(logic_function("exec_set_clear", inputs=6))
+    return module
+
+
+def apex_irq_logic() -> Module:
+    """APEX's LTL 3 support: irq capture and per-submodule propagation."""
+    module = Module("apex_irq_logic")
+    module.add(register("irq_synchroniser", 2))
+    module.add(logic_function("irq_edge_detect", inputs=4, outputs=2))
+    module.add(register("irq_pending_latch", 1))
+    module.add(logic_function("irq_pending_update", inputs=4, outputs=2))
+    module.add(register("ltl3_violation_latch", 1))
+    module.add(logic_function("ltl3_violation_term", inputs=10))
+    for name in IRQ_CONSUMER_SUBMODULES:
+        module.add(
+            logic_function("irq_gate_%s" % name, inputs=7, outputs=2)
+        )
+    return module
+
+
+def asap_ivt_guard() -> Module:
+    """ASAP's [AP1] support: the Fig. 3 two-state IVT-guard FSM."""
+    module = Module("asap_ivt_guard")
+    # The IVT is the 32-byte region at the very top of the address space,
+    # so membership is an equality test on the upper 11 address bits.
+    module.add(aligned_region_decoder("daddr_in_ivt", significant_bits=11))
+    module.add(aligned_region_decoder("dmaaddr_in_ivt", significant_bits=11))
+    module.add(logic_function("ivt_write_condition", inputs=4))
+    module.add(fsm_state("ivt_guard_fsm", states=2, transition_inputs=3))
+    module.add(logic_function("exec_clear_term", inputs=3))
+    return module
+
+
+def apex_hwmod() -> Module:
+    """The complete APEX monitor stack (VRASED + PoX core + irq logic)."""
+    module = Module("apex_hwmod")
+    module.add_module(vrased_hwmod())
+    module.add_module(pox_core())
+    module.add_module(apex_irq_logic())
+    return module
+
+
+def asap_hwmod() -> Module:
+    """The complete ASAP monitor stack (VRASED + PoX core + IVT guard)."""
+    module = Module("asap_hwmod")
+    module.add_module(vrased_hwmod())
+    module.add_module(pox_core())
+    module.add_module(asap_ivt_guard())
+    return module
+
+
+def apex_overhead_module() -> Module:
+    """The hardware APEX adds on top of the unmodified core (Fig. 6 bars)."""
+    return apex_hwmod()
+
+
+def asap_overhead_module() -> Module:
+    """The hardware ASAP adds on top of the unmodified core (Fig. 6 bars)."""
+    return asap_hwmod()

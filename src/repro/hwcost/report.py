@@ -1,0 +1,83 @@
+"""Cost reports and the Fig. 6 comparison."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.hwcost.monitors import apex_overhead_module, asap_overhead_module
+from repro.hwcost.netlist import Module
+
+
+@dataclass
+class CostReport:
+    """Synthesized cost summary of one module."""
+
+    name: str
+    luts: int
+    registers: int
+    breakdown: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def as_row(self):
+        """Return the report as a flat dictionary (bench table row)."""
+        return {"module": self.name, "luts": self.luts, "registers": self.registers}
+
+
+@dataclass
+class ComparisonReport:
+    """A two-module comparison (the paper's Fig. 6)."""
+
+    baseline: CostReport
+    candidate: CostReport
+
+    @property
+    def lut_delta(self):
+        """``candidate - baseline`` LUTs (negative means the candidate is smaller)."""
+        return self.candidate.luts - self.baseline.luts
+
+    @property
+    def register_delta(self):
+        """``candidate - baseline`` registers."""
+        return self.candidate.registers - self.baseline.registers
+
+    def rows(self) -> List[Dict]:
+        """The two table rows plus a delta row."""
+        return [
+            self.baseline.as_row(),
+            self.candidate.as_row(),
+            {
+                "module": "%s - %s" % (self.candidate.name, self.baseline.name),
+                "luts": self.lut_delta,
+                "registers": self.register_delta,
+            },
+        ]
+
+    def render(self):
+        """Human-readable rendering of the comparison."""
+        lines = ["%-28s %8s %12s" % ("module", "LUTs", "registers")]
+        for row in self.rows():
+            lines.append("%-28s %8d %12d" % (row["module"], row["luts"], row["registers"]))
+        return "\n".join(lines)
+
+
+def synthesize_monitor(module: Module) -> CostReport:
+    """'Synthesize' a module: total its LUT and register costs."""
+    return CostReport(
+        name=module.name,
+        luts=module.total_luts(),
+        registers=module.total_registers(),
+        breakdown=module.breakdown(),
+    )
+
+
+def compare_costs(baseline: Module, candidate: Module) -> ComparisonReport:
+    """Compare two modules (baseline first, e.g. APEX vs. ASAP)."""
+    return ComparisonReport(
+        baseline=synthesize_monitor(baseline),
+        candidate=synthesize_monitor(candidate),
+    )
+
+
+def figure6_comparison() -> ComparisonReport:
+    """The paper's Fig. 6: total extra LUTs/registers, APEX vs. ASAP."""
+    return compare_costs(apex_overhead_module(), asap_overhead_module())

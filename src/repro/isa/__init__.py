@@ -1,0 +1,65 @@
+"""MSP430-class instruction-set architecture.
+
+This package models the 16-bit ISA of the class of low-end MCUs targeted
+by the ASAP paper (openMSP430 / TI MSP430): a register file of sixteen
+16-bit registers (with PC, SP, SR and the constant generator mapped onto
+R0-R3), three instruction formats (two-operand, single-operand and
+relative jumps) and the seven MSP430 addressing modes.
+
+The package provides:
+
+* :mod:`repro.isa.registers` -- register names and status-register flags.
+* :mod:`repro.isa.instructions` -- instruction and operand data types.
+* :mod:`repro.isa.encoding` -- binary encoder/decoder for the 16-bit
+  instruction formats (including extension words).
+* :mod:`repro.isa.assembler` -- a two-pass assembler for a small
+  assembly dialect with sections, labels and data directives.
+* :mod:`repro.isa.disassembler` -- the inverse mapping used by traces
+  and debugging helpers.
+"""
+
+from repro.isa.registers import (
+    PC,
+    SP,
+    SR,
+    CG,
+    REGISTER_NAMES,
+    register_number,
+    register_name,
+    StatusFlag,
+)
+from repro.isa.instructions import (
+    AddressingMode,
+    Operand,
+    Opcode,
+    Instruction,
+    InstructionFormat,
+)
+from repro.isa.encoding import encode_instruction, decode_instruction, DecodeError
+from repro.isa.assembler import Assembler, AssemblyError, Section, AssembledImage
+from repro.isa.disassembler import disassemble_word, disassemble_range
+
+__all__ = [
+    "PC",
+    "SP",
+    "SR",
+    "CG",
+    "REGISTER_NAMES",
+    "register_number",
+    "register_name",
+    "StatusFlag",
+    "AddressingMode",
+    "Operand",
+    "Opcode",
+    "Instruction",
+    "InstructionFormat",
+    "encode_instruction",
+    "decode_instruction",
+    "DecodeError",
+    "Assembler",
+    "AssemblyError",
+    "Section",
+    "AssembledImage",
+    "disassemble_word",
+    "disassemble_range",
+]

@@ -1,0 +1,44 @@
+"""Disassembler for the MSP430-class ISA.
+
+Used by execution traces, debugging helpers and the waveform benches to
+annotate program-counter values with the instruction being executed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.isa.encoding import DecodeError, decode_instruction
+
+
+def disassemble_word(words):
+    """Disassemble the instruction starting at ``words[0]``.
+
+    Returns ``(text, words_consumed)``; undecodable words render as a
+    ``.word`` directive so traces never fail on data bytes.
+    """
+    try:
+        instruction, consumed = decode_instruction(words)
+    except DecodeError:
+        return ".word 0x%04X" % (words[0] & 0xFFFF), 1
+    return instruction.render(), consumed
+
+
+def disassemble_range(memory, start, end):
+    """Disassemble memory words in ``[start, end)``.
+
+    *memory* must expose ``read_word(address)``.  Returns a list of
+    ``(address, text)`` pairs.
+    """
+    out: List[Tuple[int, str]] = []
+    address = start & 0xFFFE
+    while address < end:
+        window = []
+        probe = address
+        while probe < end and len(window) < 3:
+            window.append(memory.read_word(probe))
+            probe += 2
+        text, consumed = disassemble_word(window)
+        out.append((address, text))
+        address += 2 * consumed
+    return out

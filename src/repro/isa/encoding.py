@@ -1,0 +1,221 @@
+"""Binary encoding and decoding of the MSP430-class instruction formats.
+
+Instructions are encoded as one 16-bit opcode word optionally followed by
+one or two 16-bit extension words (indexes, absolute addresses or
+immediates), little-endian in memory.
+
+Format I (two operand)::
+
+    15       12 11      8  7   6   5 4   3      0
+    [  opcode  ][ src reg ][Ad][BW][ As ][ dst reg]
+
+Format II (single operand)::
+
+    15            10 9     7  6   5 4   3      0
+    [ 0 0 0 1 0 0   ][opcode ][BW][ As ][ dst reg]
+
+Jumps::
+
+    15 13 12    10 9                             0
+    [001 ][ cond  ][ signed 10-bit word offset    ]
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.isa.instructions import (
+    AddressingMode,
+    CONSTANT_GENERATOR_ENCODINGS,
+    CONSTANT_GENERATOR_VALUES,
+    Instruction,
+    InstructionFormat,
+    Opcode,
+    Operand,
+)
+
+
+class DecodeError(Exception):
+    """Raised when a word sequence does not decode to a valid instruction."""
+
+
+_FORMAT_I_BY_FIELD = {
+    op.opcode_field: op
+    for op in Opcode
+    if op.format is InstructionFormat.DOUBLE_OPERAND
+}
+_FORMAT_II_BY_FIELD = {
+    op.opcode_field: op
+    for op in Opcode
+    if op.format is InstructionFormat.SINGLE_OPERAND
+}
+_JUMP_BY_FIELD = {
+    op.opcode_field: op for op in Opcode if op.format is InstructionFormat.JUMP
+}
+
+
+def _encode_source(operand):
+    """Return ``(register, As, extension-or-None)`` for a source operand."""
+    mode = operand.mode
+    if mode is AddressingMode.REGISTER:
+        return operand.register, 0, None
+    if mode is AddressingMode.INDEXED:
+        return operand.register, 1, operand.value & 0xFFFF
+    if mode is AddressingMode.SYMBOLIC:
+        return 0, 1, operand.value & 0xFFFF
+    if mode is AddressingMode.ABSOLUTE:
+        return 2, 1, operand.value & 0xFFFF
+    if mode is AddressingMode.INDIRECT:
+        return operand.register, 2, None
+    if mode is AddressingMode.AUTOINCREMENT:
+        return operand.register, 3, None
+    if mode is AddressingMode.IMMEDIATE:
+        return 0, 3, operand.value & 0xFFFF
+    if mode is AddressingMode.CONSTANT:
+        register, as_bits = CONSTANT_GENERATOR_ENCODINGS[operand.value & 0xFFFF]
+        return register, as_bits, None
+    raise ValueError("cannot encode source operand mode %r" % (mode,))
+
+
+def _encode_destination(operand):
+    """Return ``(register, Ad, extension-or-None)`` for a destination operand."""
+    mode = operand.mode
+    if mode is AddressingMode.REGISTER:
+        return operand.register, 0, None
+    if mode is AddressingMode.INDEXED:
+        return operand.register, 1, operand.value & 0xFFFF
+    if mode is AddressingMode.SYMBOLIC:
+        return 0, 1, operand.value & 0xFFFF
+    if mode is AddressingMode.ABSOLUTE:
+        return 2, 1, operand.value & 0xFFFF
+    raise ValueError("destination operands cannot use mode %r" % (mode,))
+
+
+def encode_instruction(instruction):
+    """Encode *instruction* into a tuple of 16-bit words."""
+    fmt = instruction.format
+    if fmt is InstructionFormat.JUMP:
+        word_offset = (instruction.jump_offset // 2) & 0x3FF
+        word = 0x2000 | (instruction.opcode.opcode_field << 10) | word_offset
+        return (word,)
+
+    if fmt is InstructionFormat.SINGLE_OPERAND:
+        if instruction.opcode is Opcode.RETI:
+            return (0x1300,)
+        register, as_bits, extension = _encode_source(instruction.src)
+        word = (
+            0x1000
+            | (instruction.opcode.opcode_field << 7)
+            | ((1 if instruction.byte_mode else 0) << 6)
+            | (as_bits << 4)
+            | register
+        )
+        return (word,) if extension is None else (word, extension)
+
+    src_register, as_bits, src_extension = _encode_source(instruction.src)
+    dst_register, ad_bit, dst_extension = _encode_destination(instruction.dst)
+    word = (
+        (instruction.opcode.opcode_field << 12)
+        | (src_register << 8)
+        | (ad_bit << 7)
+        | ((1 if instruction.byte_mode else 0) << 6)
+        | (as_bits << 4)
+        | dst_register
+    )
+    words = [word]
+    if src_extension is not None:
+        words.append(src_extension)
+    if dst_extension is not None:
+        words.append(dst_extension)
+    return tuple(words)
+
+
+def _decode_source(register, as_bits, fetch_extension):
+    """Decode a source operand from its register/As fields."""
+    key = (register, as_bits)
+    if key in CONSTANT_GENERATOR_VALUES and not (register == 0 and as_bits in (0, 1, 2)):
+        if not (register == 2 and as_bits in (0, 1)):
+            return Operand(AddressingMode.CONSTANT, value=CONSTANT_GENERATOR_VALUES[key])
+    if as_bits == 0:
+        return Operand(AddressingMode.REGISTER, register=register)
+    if as_bits == 1:
+        extension = fetch_extension()
+        if register == 0:
+            return Operand(AddressingMode.SYMBOLIC, register=0, value=extension)
+        if register == 2:
+            return Operand(AddressingMode.ABSOLUTE, register=2, value=extension)
+        return Operand(AddressingMode.INDEXED, register=register, value=extension)
+    if as_bits == 2:
+        return Operand(AddressingMode.INDIRECT, register=register)
+    if register == 0:
+        return Operand(AddressingMode.IMMEDIATE, value=fetch_extension())
+    return Operand(AddressingMode.AUTOINCREMENT, register=register)
+
+
+def _decode_destination(register, ad_bit, fetch_extension):
+    """Decode a destination operand from its register/Ad fields."""
+    if ad_bit == 0:
+        return Operand(AddressingMode.REGISTER, register=register)
+    extension = fetch_extension()
+    if register == 0:
+        return Operand(AddressingMode.SYMBOLIC, register=0, value=extension)
+    if register == 2:
+        return Operand(AddressingMode.ABSOLUTE, register=2, value=extension)
+    return Operand(AddressingMode.INDEXED, register=register, value=extension)
+
+
+def decode_instruction(words):
+    """Decode an instruction from a sequence of 16-bit *words*.
+
+    *words* must contain the opcode word followed by at least as many
+    extension words as the instruction requires (extra words are
+    ignored).  Returns ``(instruction, words_consumed)``.
+
+    :raises DecodeError: when the opcode word is not a valid encoding.
+    """
+    if not words:
+        raise DecodeError("empty word sequence")
+    opword = words[0] & 0xFFFF
+    cursor = [1]
+
+    def fetch_extension():
+        index = cursor[0]
+        if index >= len(words):
+            raise DecodeError("missing extension word for 0x%04X" % opword)
+        cursor[0] += 1
+        return words[index] & 0xFFFF
+
+    top = (opword >> 13) & 0x7
+    if top == 0b001:
+        condition = (opword >> 10) & 0x7
+        offset = opword & 0x3FF
+        if offset & 0x200:
+            offset -= 0x400
+        opcode = _JUMP_BY_FIELD[condition]
+        return Instruction(opcode, jump_offset=offset * 2), cursor[0]
+
+    if (opword >> 10) == 0b000100:
+        field = (opword >> 7) & 0x7
+        if field not in _FORMAT_II_BY_FIELD:
+            raise DecodeError("invalid format-II opcode in 0x%04X" % opword)
+        opcode = _FORMAT_II_BY_FIELD[field]
+        if opcode is Opcode.RETI:
+            return Instruction(Opcode.RETI), cursor[0]
+        byte_mode = bool((opword >> 6) & 1)
+        as_bits = (opword >> 4) & 0x3
+        register = opword & 0xF
+        src = _decode_source(register, as_bits, fetch_extension)
+        return Instruction(opcode, src=src, byte_mode=byte_mode), cursor[0]
+
+    field = (opword >> 12) & 0xF
+    if field < 0x4:
+        raise DecodeError("invalid opcode word 0x%04X" % opword)
+    opcode = _FORMAT_I_BY_FIELD[field]
+    src_register = (opword >> 8) & 0xF
+    ad_bit = (opword >> 7) & 1
+    byte_mode = bool((opword >> 6) & 1)
+    as_bits = (opword >> 4) & 0x3
+    dst_register = opword & 0xF
+    src = _decode_source(src_register, as_bits, fetch_extension)
+    dst = _decode_destination(dst_register, ad_bit, fetch_extension)
+    return Instruction(opcode, src=src, dst=dst, byte_mode=byte_mode), cursor[0]

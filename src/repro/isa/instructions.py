@@ -1,0 +1,350 @@
+"""Instruction and operand data types for the MSP430-class ISA.
+
+The ISA has three instruction formats:
+
+* **Format I** (two-operand): ``MOV``, ``ADD``, ``ADDC``, ``SUBC``,
+  ``SUB``, ``CMP``, ``DADD``, ``BIT``, ``BIC``, ``BIS``, ``XOR``, ``AND``.
+* **Format II** (single-operand): ``RRC``, ``SWPB``, ``RRA``, ``SXT``,
+  ``PUSH``, ``CALL``, ``RETI``.
+* **Jumps** (PC-relative conditional): ``JNE``, ``JEQ``, ``JNC``, ``JC``,
+  ``JN``, ``JGE``, ``JL``, ``JMP``.
+
+Operands carry an :class:`AddressingMode` plus a register number and an
+optional extension value (index, absolute address or immediate).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.isa.registers import register_name
+
+
+class AddressingMode(enum.Enum):
+    """The seven MSP430 addressing modes (plus the constant generator).
+
+    ``REGISTER``      operand is a register (``Rn``).
+    ``INDEXED``       operand is ``X(Rn)`` -- memory at ``Rn + X``.
+    ``SYMBOLIC``      operand is ``ADDR`` -- memory at ``PC + X``.
+    ``ABSOLUTE``      operand is ``&ADDR`` -- memory at ``ADDR``.
+    ``INDIRECT``      operand is ``@Rn`` -- memory at ``Rn``.
+    ``AUTOINCREMENT`` operand is ``@Rn+`` -- memory at ``Rn``, then
+                      ``Rn`` is incremented by the access size.
+    ``IMMEDIATE``     operand is ``#N`` -- a literal value.
+    ``CONSTANT``      one of the constant-generator values
+                      (-1, 0, 1, 2, 4, 8) encoded without an extension
+                      word.
+    """
+
+    REGISTER = "register"
+    INDEXED = "indexed"
+    SYMBOLIC = "symbolic"
+    ABSOLUTE = "absolute"
+    INDIRECT = "indirect"
+    AUTOINCREMENT = "autoincrement"
+    IMMEDIATE = "immediate"
+    CONSTANT = "constant"
+
+
+#: Values the constant generator can produce and their (register, As) encoding.
+CONSTANT_GENERATOR_ENCODINGS = {
+    0: (3, 0),
+    1: (3, 1),
+    2: (3, 2),
+    0xFFFF: (3, 3),
+    4: (2, 2),
+    8: (2, 3),
+}
+
+#: Reverse map from (register, As) to the generated constant.
+CONSTANT_GENERATOR_VALUES = {v: k for k, v in CONSTANT_GENERATOR_ENCODINGS.items()}
+
+
+@dataclass(frozen=True)
+class Operand:
+    """A single instruction operand.
+
+    ``register`` is the register number involved in address formation
+    (meaningless for ``IMMEDIATE``/``CONSTANT``/``ABSOLUTE``); ``value``
+    holds the index, immediate or absolute address when the mode needs
+    one.
+    """
+
+    mode: AddressingMode
+    register: int = 0
+    value: Optional[int] = None
+
+    def needs_extension_word(self):
+        """Return ``True`` if this operand occupies an extension word."""
+        return self.mode in (
+            AddressingMode.INDEXED,
+            AddressingMode.SYMBOLIC,
+            AddressingMode.ABSOLUTE,
+            AddressingMode.IMMEDIATE,
+        )
+
+    def render(self):
+        """Return the assembly-syntax rendering of the operand."""
+        if self.mode is AddressingMode.REGISTER:
+            return register_name(self.register)
+        if self.mode is AddressingMode.INDEXED:
+            return "%d(%s)" % (self.value, register_name(self.register))
+        if self.mode is AddressingMode.SYMBOLIC:
+            return "0x%04X" % (self.value & 0xFFFF)
+        if self.mode is AddressingMode.ABSOLUTE:
+            return "&0x%04X" % (self.value & 0xFFFF)
+        if self.mode is AddressingMode.INDIRECT:
+            return "@%s" % register_name(self.register)
+        if self.mode is AddressingMode.AUTOINCREMENT:
+            return "@%s+" % register_name(self.register)
+        if self.mode is AddressingMode.IMMEDIATE:
+            return "#0x%X" % (self.value & 0xFFFF)
+        if self.mode is AddressingMode.CONSTANT:
+            value = self.value if self.value != 0xFFFF else -1
+            return "#%d" % value
+        raise AssertionError("unhandled mode %r" % (self.mode,))
+
+    @staticmethod
+    def reg(number):
+        """Shorthand for a register-direct operand."""
+        return Operand(AddressingMode.REGISTER, register=int(number))
+
+    @staticmethod
+    def imm(value):
+        """Shorthand for an immediate operand (constant-generator aware)."""
+        value = int(value) & 0xFFFF
+        if value in CONSTANT_GENERATOR_ENCODINGS:
+            return Operand(AddressingMode.CONSTANT, value=value)
+        return Operand(AddressingMode.IMMEDIATE, value=value)
+
+    @staticmethod
+    def absolute(address):
+        """Shorthand for an absolute (``&ADDR``) operand."""
+        return Operand(AddressingMode.ABSOLUTE, register=2, value=int(address) & 0xFFFF)
+
+    @staticmethod
+    def indexed(register, offset):
+        """Shorthand for an indexed (``X(Rn)``) operand."""
+        return Operand(
+            AddressingMode.INDEXED, register=int(register), value=int(offset) & 0xFFFF
+        )
+
+    @staticmethod
+    def indirect(register, autoincrement=False):
+        """Shorthand for ``@Rn`` / ``@Rn+`` operands."""
+        mode = AddressingMode.AUTOINCREMENT if autoincrement else AddressingMode.INDIRECT
+        return Operand(mode, register=int(register))
+
+
+class InstructionFormat(enum.Enum):
+    """The three MSP430 instruction formats."""
+
+    DOUBLE_OPERAND = "format-i"
+    SINGLE_OPERAND = "format-ii"
+    JUMP = "jump"
+
+
+class Opcode(enum.Enum):
+    """All supported mnemonics.
+
+    The enum value is ``(format, primary opcode field)`` where the
+    meaning of the opcode field depends on the format (see
+    :mod:`repro.isa.encoding`).
+    """
+
+    # Format I -- two operands.
+    MOV = (InstructionFormat.DOUBLE_OPERAND, 0x4)
+    ADD = (InstructionFormat.DOUBLE_OPERAND, 0x5)
+    ADDC = (InstructionFormat.DOUBLE_OPERAND, 0x6)
+    SUBC = (InstructionFormat.DOUBLE_OPERAND, 0x7)
+    SUB = (InstructionFormat.DOUBLE_OPERAND, 0x8)
+    CMP = (InstructionFormat.DOUBLE_OPERAND, 0x9)
+    DADD = (InstructionFormat.DOUBLE_OPERAND, 0xA)
+    BIT = (InstructionFormat.DOUBLE_OPERAND, 0xB)
+    BIC = (InstructionFormat.DOUBLE_OPERAND, 0xC)
+    BIS = (InstructionFormat.DOUBLE_OPERAND, 0xD)
+    XOR = (InstructionFormat.DOUBLE_OPERAND, 0xE)
+    AND = (InstructionFormat.DOUBLE_OPERAND, 0xF)
+    # Format II -- single operand.
+    RRC = (InstructionFormat.SINGLE_OPERAND, 0x0)
+    SWPB = (InstructionFormat.SINGLE_OPERAND, 0x1)
+    RRA = (InstructionFormat.SINGLE_OPERAND, 0x2)
+    SXT = (InstructionFormat.SINGLE_OPERAND, 0x3)
+    PUSH = (InstructionFormat.SINGLE_OPERAND, 0x4)
+    CALL = (InstructionFormat.SINGLE_OPERAND, 0x5)
+    RETI = (InstructionFormat.SINGLE_OPERAND, 0x6)
+    # Jumps.
+    JNE = (InstructionFormat.JUMP, 0x0)
+    JEQ = (InstructionFormat.JUMP, 0x1)
+    JNC = (InstructionFormat.JUMP, 0x2)
+    JC = (InstructionFormat.JUMP, 0x3)
+    JN = (InstructionFormat.JUMP, 0x4)
+    JGE = (InstructionFormat.JUMP, 0x5)
+    JL = (InstructionFormat.JUMP, 0x6)
+    JMP = (InstructionFormat.JUMP, 0x7)
+
+    @property
+    def format(self):
+        """The :class:`InstructionFormat` of the mnemonic."""
+        return self.value[0]
+
+    @property
+    def opcode_field(self):
+        """The numeric opcode field used by the binary encoding."""
+        return self.value[1]
+
+
+#: Jump aliases accepted by the assembler (alias -> canonical mnemonic).
+MNEMONIC_ALIASES = {
+    "JNZ": "JNE",
+    "JZ": "JEQ",
+    "JLO": "JNC",
+    "JHS": "JC",
+    "BR": "BR",  # emulated: MOV dst, PC
+    "RET": "RET",  # emulated: MOV @SP+, PC
+    "NOP": "NOP",  # emulated: MOV #0, CG
+    "CLR": "CLR",  # emulated: MOV #0, dst
+    "INC": "INC",  # emulated: ADD #1, dst
+    "DEC": "DEC",  # emulated: SUB #1, dst
+    "TST": "TST",  # emulated: CMP #0, dst
+    "DINT": "DINT",  # emulated: BIC #8, SR
+    "EINT": "EINT",  # emulated: BIS #8, SR
+    "POP": "POP",  # emulated: MOV @SP+, dst
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A fully decoded instruction.
+
+    ``byte_mode`` selects byte (``.B``) rather than word (``.W``) access
+    for formats I and II.  ``src``/``dst`` are :class:`Operand` values
+    (``dst`` only for format I; ``src`` holds the single operand of
+    format II; jumps use ``jump_offset`` expressed in bytes relative to
+    the following instruction).
+    """
+
+    opcode: Opcode
+    src: Optional[Operand] = None
+    dst: Optional[Operand] = None
+    byte_mode: bool = False
+    jump_offset: int = 0
+
+    def __post_init__(self):
+        fmt = self.opcode.format
+        if fmt is InstructionFormat.DOUBLE_OPERAND:
+            if self.src is None or self.dst is None:
+                raise ValueError("%s needs src and dst operands" % self.opcode.name)
+        elif fmt is InstructionFormat.SINGLE_OPERAND:
+            if self.opcode is not Opcode.RETI and self.src is None:
+                raise ValueError("%s needs one operand" % self.opcode.name)
+        else:
+            if self.jump_offset % 2 != 0:
+                raise ValueError("jump offsets must be even")
+            if not -1024 <= self.jump_offset <= 1022:
+                raise ValueError("jump offset out of range: %d" % self.jump_offset)
+
+    @property
+    def format(self):
+        """The :class:`InstructionFormat` of the instruction."""
+        return self.opcode.format
+
+    def size_words(self):
+        """Return the encoded size in 16-bit words (1..3)."""
+        words = 1
+        if self.src is not None and self.src.needs_extension_word():
+            words += 1
+        if self.dst is not None and self.dst.needs_extension_word():
+            words += 1
+        return words
+
+    def size_bytes(self):
+        """Return the encoded size in bytes."""
+        return 2 * self.size_words()
+
+    def cycles(self):
+        """Return the approximate MSP430 cycle count of the instruction.
+
+        The table follows the MSP430 family user's guide closely enough
+        for relative comparisons (the runtime-overhead experiment only
+        needs the *difference* between protected and unprotected
+        execution, which is zero by construction).
+        """
+        fmt = self.format
+        if fmt is InstructionFormat.JUMP:
+            return 2
+        if fmt is InstructionFormat.SINGLE_OPERAND:
+            return _format_ii_cycles(self)
+        return _format_i_cycles(self)
+
+    def mnemonic(self):
+        """Return the mnemonic with the ``.B`` suffix when in byte mode."""
+        suffix = ".B" if self.byte_mode else ""
+        return self.opcode.name + suffix
+
+    def render(self):
+        """Return the assembly-syntax rendering of the instruction."""
+        fmt = self.format
+        if fmt is InstructionFormat.JUMP:
+            sign = "+" if self.jump_offset >= 0 else ""
+            return "%s %s%d" % (self.mnemonic(), sign, self.jump_offset)
+        if fmt is InstructionFormat.SINGLE_OPERAND:
+            if self.opcode is Opcode.RETI:
+                return "RETI"
+            return "%s %s" % (self.mnemonic(), self.src.render())
+        return "%s %s, %s" % (self.mnemonic(), self.src.render(), self.dst.render())
+
+    def extension_words(self):
+        """Return the tuple of extension-word values in encoding order."""
+        words = []
+        if self.src is not None and self.src.needs_extension_word():
+            words.append(self.src.value & 0xFFFF)
+        if self.dst is not None and self.dst.needs_extension_word():
+            words.append(self.dst.value & 0xFFFF)
+        return tuple(words)
+
+
+_SRC_FETCH_CYCLES = {
+    AddressingMode.REGISTER: 0,
+    AddressingMode.CONSTANT: 0,
+    AddressingMode.INDIRECT: 1,
+    AddressingMode.AUTOINCREMENT: 1,
+    AddressingMode.IMMEDIATE: 1,
+    AddressingMode.INDEXED: 2,
+    AddressingMode.SYMBOLIC: 2,
+    AddressingMode.ABSOLUTE: 2,
+}
+
+_DST_CYCLES = {
+    AddressingMode.REGISTER: 0,
+    AddressingMode.INDEXED: 3,
+    AddressingMode.SYMBOLIC: 3,
+    AddressingMode.ABSOLUTE: 3,
+}
+
+
+def _format_i_cycles(instruction):
+    """Cycle estimate for a two-operand instruction."""
+    cycles = 1
+    cycles += _SRC_FETCH_CYCLES[instruction.src.mode]
+    cycles += _DST_CYCLES.get(instruction.dst.mode, 3)
+    if instruction.dst.mode is AddressingMode.REGISTER and instruction.dst.register == 0:
+        # Writes to the PC cost an extra cycle (pipeline refill).
+        cycles += 1
+    return cycles
+
+
+def _format_ii_cycles(instruction):
+    """Cycle estimate for a single-operand instruction."""
+    if instruction.opcode is Opcode.RETI:
+        return 5
+    if instruction.opcode is Opcode.CALL:
+        return 4 + _SRC_FETCH_CYCLES[instruction.src.mode]
+    if instruction.opcode is Opcode.PUSH:
+        return 3 + _SRC_FETCH_CYCLES[instruction.src.mode]
+    base = 1 + _SRC_FETCH_CYCLES[instruction.src.mode]
+    if instruction.src.mode is not AddressingMode.REGISTER:
+        base += 2
+    return base

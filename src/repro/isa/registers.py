@@ -1,0 +1,112 @@
+"""Register file conventions and status-register flags.
+
+The MSP430 register file has sixteen 16-bit registers.  Four of them have
+architectural roles:
+
+* ``R0`` is the program counter (``PC``),
+* ``R1`` is the stack pointer (``SP``),
+* ``R2`` is the status register (``SR``) and doubles as constant
+  generator 1,
+* ``R3`` is constant generator 2 (``CG``) and always reads as zero in
+  register mode.
+
+The remaining registers ``R4``-``R15`` are general purpose.
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: Architectural register numbers.
+PC = 0
+SP = 1
+SR = 2
+CG = 3
+
+#: Number of registers in the file.
+REGISTER_COUNT = 16
+
+#: Canonical display names, indexed by register number.
+REGISTER_NAMES = (
+    "PC",
+    "SP",
+    "SR",
+    "CG",
+    "R4",
+    "R5",
+    "R6",
+    "R7",
+    "R8",
+    "R9",
+    "R10",
+    "R11",
+    "R12",
+    "R13",
+    "R14",
+    "R15",
+)
+
+#: Accepted textual aliases for each register, lower-case.
+_ALIASES = {
+    "pc": PC,
+    "r0": PC,
+    "sp": SP,
+    "r1": SP,
+    "sr": SR,
+    "r2": SR,
+    "cg": CG,
+    "cg2": CG,
+    "r3": CG,
+}
+for _n in range(4, REGISTER_COUNT):
+    _ALIASES["r%d" % _n] = _n
+
+
+class StatusFlag(enum.IntFlag):
+    """Bits of the status register (``SR`` / ``R2``).
+
+    The low byte carries the arithmetic flags and the interrupt/power
+    control bits; ``V`` (overflow) lives in bit 8.  ``GIE`` gates all
+    maskable interrupts, and ``CPUOFF`` models the low-power mode used by
+    the syringe-pump firmware of the paper's Section 3 (the CPU halts
+    until an enabled interrupt wakes it up).
+    """
+
+    C = 1 << 0
+    Z = 1 << 1
+    N = 1 << 2
+    GIE = 1 << 3
+    CPUOFF = 1 << 4
+    OSCOFF = 1 << 5
+    SCG0 = 1 << 6
+    SCG1 = 1 << 7
+    V = 1 << 8
+
+
+def register_number(name):
+    """Return the register number for a textual register *name*.
+
+    Accepts both canonical names (``"PC"``, ``"SP"``, ``"SR"``, ``"CG"``,
+    ``"R4"``...) and raw ``Rn`` forms, case-insensitively.
+
+    :raises ValueError: if *name* does not denote a register.
+    """
+    key = str(name).strip().lower()
+    if key in _ALIASES:
+        return _ALIASES[key]
+    raise ValueError("unknown register name: %r" % (name,))
+
+
+def register_name(number):
+    """Return the canonical display name for register *number*.
+
+    :raises ValueError: if *number* is outside ``0..15``.
+    """
+    if not 0 <= int(number) < REGISTER_COUNT:
+        raise ValueError("register number out of range: %r" % (number,))
+    return REGISTER_NAMES[int(number)]
+
+
+def is_register_name(name):
+    """Return ``True`` if *name* is a recognised register name."""
+    return str(name).strip().lower() in _ALIASES

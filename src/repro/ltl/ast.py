@@ -1,0 +1,259 @@
+"""Abstract syntax for linear temporal logic formulas.
+
+The paper states its hardware properties in LTL with the ``G`` and ``X``
+quantifiers plus propositional connectives (Section 4.2); ``F`` and
+``U`` are included for completeness since several derived properties in
+the reproduction's suite are naturally expressed with them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+
+class Formula:
+    """Base class for all LTL formulas."""
+
+    def atoms(self) -> FrozenSet[str]:
+        """Return the set of atomic proposition names in the formula."""
+        raise NotImplementedError
+
+    def is_propositional(self):
+        """``True`` if the formula contains no temporal operator."""
+        raise NotImplementedError
+
+    def next_depth(self):
+        """Maximum nesting depth of the ``X`` operator."""
+        raise NotImplementedError
+
+    # Convenience constructors so suites can be written fluently.
+    def __and__(self, other):
+        return And(self, other)
+
+    def __or__(self, other):
+        return Or(self, other)
+
+    def __invert__(self):
+        return Not(self)
+
+    def implies(self, other):
+        """Return ``self -> other``."""
+        return Implies(self, other)
+
+
+@dataclass(frozen=True)
+class TrueFormula(Formula):
+    """The constant ``true``."""
+
+    def atoms(self):
+        return frozenset()
+
+    def is_propositional(self):
+        return True
+
+    def next_depth(self):
+        return 0
+
+    def __str__(self):
+        return "true"
+
+
+@dataclass(frozen=True)
+class FalseFormula(Formula):
+    """The constant ``false``."""
+
+    def atoms(self):
+        return frozenset()
+
+    def is_propositional(self):
+        return True
+
+    def next_depth(self):
+        return 0
+
+    def __str__(self):
+        return "false"
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """An atomic proposition, e.g. ``pc_in_er`` or ``exec``."""
+
+    name: str
+
+    def atoms(self):
+        return frozenset({self.name})
+
+    def is_propositional(self):
+        return True
+
+    def next_depth(self):
+        return 0
+
+    def __str__(self):
+        return self.name
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation."""
+
+    operand: Formula
+
+    def atoms(self):
+        return self.operand.atoms()
+
+    def is_propositional(self):
+        return self.operand.is_propositional()
+
+    def next_depth(self):
+        return self.operand.next_depth()
+
+    def __str__(self):
+        return "!%s" % _wrap(self.operand)
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Conjunction."""
+
+    left: Formula
+    right: Formula
+
+    def atoms(self):
+        return self.left.atoms() | self.right.atoms()
+
+    def is_propositional(self):
+        return self.left.is_propositional() and self.right.is_propositional()
+
+    def next_depth(self):
+        return max(self.left.next_depth(), self.right.next_depth())
+
+    def __str__(self):
+        return "(%s & %s)" % (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """Disjunction."""
+
+    left: Formula
+    right: Formula
+
+    def atoms(self):
+        return self.left.atoms() | self.right.atoms()
+
+    def is_propositional(self):
+        return self.left.is_propositional() and self.right.is_propositional()
+
+    def next_depth(self):
+        return max(self.left.next_depth(), self.right.next_depth())
+
+    def __str__(self):
+        return "(%s | %s)" % (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    """Implication."""
+
+    left: Formula
+    right: Formula
+
+    def atoms(self):
+        return self.left.atoms() | self.right.atoms()
+
+    def is_propositional(self):
+        return self.left.is_propositional() and self.right.is_propositional()
+
+    def next_depth(self):
+        return max(self.left.next_depth(), self.right.next_depth())
+
+    def __str__(self):
+        return "(%s -> %s)" % (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Next(Formula):
+    """``X phi`` -- *phi* holds in the next state."""
+
+    operand: Formula
+
+    def atoms(self):
+        return self.operand.atoms()
+
+    def is_propositional(self):
+        return False
+
+    def next_depth(self):
+        return 1 + self.operand.next_depth()
+
+    def __str__(self):
+        return "X %s" % _wrap(self.operand)
+
+
+@dataclass(frozen=True)
+class Globally(Formula):
+    """``G phi`` -- *phi* holds in every future state."""
+
+    operand: Formula
+
+    def atoms(self):
+        return self.operand.atoms()
+
+    def is_propositional(self):
+        return False
+
+    def next_depth(self):
+        return self.operand.next_depth()
+
+    def __str__(self):
+        return "G %s" % _wrap(self.operand)
+
+
+@dataclass(frozen=True)
+class Finally(Formula):
+    """``F phi`` -- *phi* eventually holds."""
+
+    operand: Formula
+
+    def atoms(self):
+        return self.operand.atoms()
+
+    def is_propositional(self):
+        return False
+
+    def next_depth(self):
+        return self.operand.next_depth()
+
+    def __str__(self):
+        return "F %s" % _wrap(self.operand)
+
+
+@dataclass(frozen=True)
+class Until(Formula):
+    """``phi U psi`` -- *phi* holds until *psi* does (and *psi* eventually holds)."""
+
+    left: Formula
+    right: Formula
+
+    def atoms(self):
+        return self.left.atoms() | self.right.atoms()
+
+    def is_propositional(self):
+        return False
+
+    def next_depth(self):
+        return max(self.left.next_depth(), self.right.next_depth())
+
+    def __str__(self):
+        return "(%s U %s)" % (self.left, self.right)
+
+
+def _wrap(formula):
+    """Parenthesise compound operands for readable rendering."""
+    text = str(formula)
+    if isinstance(formula, (Atom, TrueFormula, FalseFormula)) or text.startswith("("):
+        return text
+    return "(%s)" % text

@@ -1,0 +1,133 @@
+"""Kripke structures: the state-transition models fed to the model checker.
+
+A :class:`KripkeStructure` is a finite set of states, each labelled with
+the set of atomic propositions that hold in it, plus a total transition
+relation and a set of initial states.  The monitor models in
+:mod:`repro.ltl.properties` are built by exhaustively composing the
+monitor FSM logic with a nondeterministic environment (every combination
+of the input atoms), which is exactly what an RTL model checker such as
+NuSMV does symbolically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Set, Tuple
+
+
+@dataclass(frozen=True)
+class KripkeState:
+    """One state: an immutable assignment of atoms to booleans."""
+
+    assignment: FrozenSet[Tuple[str, bool]]
+
+    @staticmethod
+    def from_dict(values: Mapping[str, bool]) -> "KripkeState":
+        """Build a state from an atom dictionary."""
+        return KripkeState(frozenset((name, bool(value)) for name, value in values.items()))
+
+    def as_dict(self) -> Dict[str, bool]:
+        """Return the assignment as a plain dictionary."""
+        return dict(self.assignment)
+
+    def value(self, atom: str) -> bool:
+        """Return the value of *atom* (missing atoms are false)."""
+        return dict(self.assignment).get(atom, False)
+
+    def __str__(self):
+        true_atoms = sorted(name for name, value in self.assignment if value)
+        return "{%s}" % ", ".join(true_atoms)
+
+
+class KripkeStructure:
+    """A finite transition system with labelled states."""
+
+    def __init__(self):
+        self._states: Set[KripkeState] = set()
+        self._initial: Set[KripkeState] = set()
+        self._successors: Dict[KripkeState, Set[KripkeState]] = {}
+
+    # ------------------------------------------------------------ construction
+
+    def add_state(self, state: KripkeState, initial=False):
+        """Add a state (idempotent); optionally mark it initial."""
+        self._states.add(state)
+        self._successors.setdefault(state, set())
+        if initial:
+            self._initial.add(state)
+        return state
+
+    def add_transition(self, source: KripkeState, target: KripkeState):
+        """Add a transition; both states are added if missing."""
+        self.add_state(source)
+        self.add_state(target)
+        self._successors[source].add(target)
+
+    @classmethod
+    def build(cls, initial_states: Iterable[Mapping[str, bool]],
+              successor_function: Callable[[Mapping[str, bool]], Iterable[Mapping[str, bool]]],
+              max_states=100000) -> "KripkeStructure":
+        """Explore a model from *initial_states* using *successor_function*.
+
+        The successor function maps a state dictionary to an iterable of
+        successor state dictionaries; exploration is a breadth-first
+        closure bounded by *max_states*.
+        """
+        structure = cls()
+        frontier: List[KripkeState] = []
+        for values in initial_states:
+            state = KripkeState.from_dict(values)
+            structure.add_state(state, initial=True)
+            frontier.append(state)
+        visited = set(frontier)
+        while frontier:
+            if len(structure._states) > max_states:
+                raise RuntimeError("state-space exploration exceeded %d states" % max_states)
+            state = frontier.pop()
+            for successor_values in successor_function(state.as_dict()):
+                successor = KripkeState.from_dict(successor_values)
+                structure.add_transition(state, successor)
+                if successor not in visited:
+                    visited.add(successor)
+                    frontier.append(successor)
+        return structure
+
+    # ------------------------------------------------------------ queries
+
+    @property
+    def states(self) -> Set[KripkeState]:
+        """All states."""
+        return set(self._states)
+
+    @property
+    def initial_states(self) -> Set[KripkeState]:
+        """The initial states."""
+        return set(self._initial)
+
+    def successors(self, state: KripkeState) -> Set[KripkeState]:
+        """The successor set of *state*."""
+        return set(self._successors.get(state, set()))
+
+    def state_count(self):
+        """Number of states."""
+        return len(self._states)
+
+    def transition_count(self):
+        """Number of transitions."""
+        return sum(len(targets) for targets in self._successors.values())
+
+    def reachable_states(self) -> Set[KripkeState]:
+        """States reachable from the initial set."""
+        frontier = list(self._initial)
+        reachable = set(frontier)
+        while frontier:
+            state = frontier.pop()
+            for successor in self._successors.get(state, ()):  # pragma: no branch
+                if successor not in reachable:
+                    reachable.add(successor)
+                    frontier.append(successor)
+        return reachable
+
+    def is_total(self):
+        """``True`` if every reachable state has at least one successor."""
+        return all(self._successors.get(state) for state in self.reachable_states())

@@ -1,0 +1,176 @@
+"""A recursive-descent parser for the LTL surface syntax.
+
+Grammar (lowest to highest precedence)::
+
+    formula     := implication
+    implication := disjunction ( '->' implication )?
+    disjunction := conjunction ( '|' conjunction )*
+    conjunction := until ( '&' until )*
+    until       := unary ( 'U' unary )*
+    unary       := '!' unary | 'G' unary | 'X' unary | 'F' unary | primary
+    primary     := 'true' | 'false' | identifier | '(' formula ')'
+
+Identifiers are ``[A-Za-z_][A-Za-z0-9_]*`` (except the reserved operator
+letters when upper-case and stand-alone).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.ltl.ast import (
+    And,
+    Atom,
+    FalseFormula,
+    Finally,
+    Formula,
+    Globally,
+    Implies,
+    Next,
+    Not,
+    Or,
+    TrueFormula,
+    Until,
+)
+
+
+class LtlParseError(Exception):
+    """Raised when a formula string cannot be parsed."""
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<arrow>->)|(?P<and>&&?|/\\)|(?P<or>\|\|?|\\/)|(?P<not>!|~)"
+    r"|(?P<lparen>\()|(?P<rparen>\))|(?P<ident>[A-Za-z_][A-Za-z0-9_]*))"
+)
+
+_RESERVED_UNARY = {"G", "X", "F"}
+_RESERVED_BINARY = {"U"}
+
+
+def _tokenize(text):
+    tokens: List[tuple] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if not match or match.end() == position:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise LtlParseError("unexpected input at %r" % remainder[:20])
+        position = match.end()
+        kind = match.lastgroup
+        value = match.group(kind)
+        tokens.append((kind, value))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.position = 0
+
+    def peek(self):
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return (None, None)
+
+    def advance(self):
+        token = self.peek()
+        self.position += 1
+        return token
+
+    def expect(self, kind):
+        token_kind, value = self.advance()
+        if token_kind != kind:
+            raise LtlParseError("expected %s, found %r" % (kind, value))
+        return value
+
+    # ------------------------------------------------------------ grammar
+
+    def parse_formula(self) -> Formula:
+        return self.parse_implication()
+
+    def parse_implication(self):
+        left = self.parse_disjunction()
+        kind, _value = self.peek()
+        if kind == "arrow":
+            self.advance()
+            right = self.parse_implication()
+            return Implies(left, right)
+        return left
+
+    def parse_disjunction(self):
+        left = self.parse_conjunction()
+        while True:
+            kind, _value = self.peek()
+            if kind != "or":
+                return left
+            self.advance()
+            left = Or(left, self.parse_conjunction())
+
+    def parse_conjunction(self):
+        left = self.parse_until()
+        while True:
+            kind, _value = self.peek()
+            if kind != "and":
+                return left
+            self.advance()
+            left = And(left, self.parse_until())
+
+    def parse_until(self):
+        left = self.parse_unary()
+        while True:
+            kind, value = self.peek()
+            if kind == "ident" and value in _RESERVED_BINARY:
+                self.advance()
+                left = Until(left, self.parse_unary())
+            else:
+                return left
+
+    def parse_unary(self):
+        kind, value = self.peek()
+        if kind == "not":
+            self.advance()
+            return Not(self.parse_unary())
+        if kind == "ident" and value in _RESERVED_UNARY:
+            self.advance()
+            operand = self.parse_unary()
+            if value == "G":
+                return Globally(operand)
+            if value == "X":
+                return Next(operand)
+            return Finally(operand)
+        return self.parse_primary()
+
+    def parse_primary(self):
+        kind, value = self.advance()
+        if kind == "lparen":
+            inner = self.parse_formula()
+            self.expect("rparen")
+            return inner
+        if kind == "ident":
+            if value == "true":
+                return TrueFormula()
+            if value == "false":
+                return FalseFormula()
+            if value in _RESERVED_UNARY or value in _RESERVED_BINARY:
+                raise LtlParseError("operator %r needs an operand" % value)
+            return Atom(value)
+        raise LtlParseError("unexpected token %r" % (value,))
+
+
+def parse_ltl(text) -> Formula:
+    """Parse *text* into a :class:`~repro.ltl.ast.Formula`.
+
+    :raises LtlParseError: on malformed input.
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise LtlParseError("empty formula")
+    parser = _Parser(tokens)
+    formula = parser.parse_formula()
+    if parser.position != len(tokens):
+        remaining = parser.tokens[parser.position:]
+        raise LtlParseError("trailing tokens: %r" % (remaining,))
+    return formula

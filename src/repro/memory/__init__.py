@@ -1,0 +1,24 @@
+"""Memory subsystem: address-space layout, byte-addressable memory and IVT.
+
+The ASAP/APEX/VRASED hardware monitors are defined entirely in terms of
+*which memory region* an access or the program counter falls into
+(``ER``, ``OR``, the IVT, the attestation key, ...), so the region
+algebra in :mod:`repro.memory.layout` is the vocabulary every other
+subsystem speaks.
+"""
+
+from repro.memory.layout import MemoryRegion, MemoryLayout
+from repro.memory.memory import Memory, MemoryAccess, MemoryError
+from repro.memory.ivt import InterruptVectorTable, IVT_BASE, IVT_END, IVT_ENTRIES
+
+__all__ = [
+    "MemoryRegion",
+    "MemoryLayout",
+    "Memory",
+    "MemoryAccess",
+    "MemoryError",
+    "InterruptVectorTable",
+    "IVT_BASE",
+    "IVT_END",
+    "IVT_ENTRIES",
+]

@@ -1,0 +1,160 @@
+"""Address-space regions and the default openMSP430-style memory map.
+
+Regions use **inclusive** bounds, matching the paper's convention for the
+executable region (``ER_min`` is the address of the first instruction,
+``ER_max`` of the last) and for the IVT (``0xFFE0`` .. ``0xFFFF``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+
+ADDRESS_SPACE_SIZE = 0x10000
+ADDRESS_MASK = 0xFFFF
+
+
+@dataclass(frozen=True)
+class MemoryRegion:
+    """A contiguous, inclusively-bounded address range with a name."""
+
+    start: int
+    end: int
+    name: str = ""
+
+    def __post_init__(self):
+        if not 0 <= self.start <= ADDRESS_MASK:
+            raise ValueError("region start out of range: 0x%X" % self.start)
+        if not 0 <= self.end <= ADDRESS_MASK:
+            raise ValueError("region end out of range: 0x%X" % self.end)
+        if self.end < self.start:
+            raise ValueError(
+                "region end 0x%04X precedes start 0x%04X" % (self.end, self.start)
+            )
+
+    @property
+    def size(self):
+        """Number of bytes covered by the region."""
+        return self.end - self.start + 1
+
+    def contains(self, address):
+        """Return ``True`` if *address* lies within the region."""
+        return self.start <= (address & ADDRESS_MASK) <= self.end
+
+    def contains_span(self, address, length):
+        """Return ``True`` if ``[address, address+length)`` lies fully inside."""
+        if length <= 0:
+            return False
+        return self.contains(address) and self.contains(address + length - 1)
+
+    def overlaps(self, other):
+        """Return ``True`` if the two regions share at least one address."""
+        return self.start <= other.end and other.start <= self.end
+
+    def contains_region(self, other):
+        """Return ``True`` if *other* lies entirely within this region."""
+        return self.start <= other.start and other.end <= self.end
+
+    def addresses(self):
+        """Iterate over every address in the region."""
+        return range(self.start, self.end + 1)
+
+    def __str__(self):
+        label = self.name or "region"
+        return "%s[0x%04X..0x%04X]" % (label, self.start, self.end)
+
+
+#: Default openMSP430-style map for a 64 KiB device:
+#: special-function/peripheral registers at the bottom, 4 KiB of data
+#: memory (SRAM), program memory at the top of the address space and the
+#: 32-byte IVT occupying the last 16 words (paper, Section 5).
+DEFAULT_REGIONS = {
+    "peripherals": (0x0000, 0x01FF),
+    "data": (0x0200, 0x11FF),
+    "program": (0xA000, 0xFFDF),
+    "ivt": (0xFFE0, 0xFFFF),
+}
+
+
+class MemoryLayout:
+    """A named collection of non-overlapping top-level regions.
+
+    The layout carries both the fixed architectural regions (data,
+    program, peripherals, IVT) and the attestation-related regions that
+    VRASED/APEX/ASAP configure at deployment time (key, attestation code,
+    ER, OR, metadata).  Overlap rules differ: architectural regions must
+    not overlap each other, while ER/OR are sub-regions of program/data
+    memory and are validated by the monitors instead.
+    """
+
+    def __init__(self, regions: Optional[Dict[str, tuple]] = None):
+        self._regions: Dict[str, MemoryRegion] = {}
+        source = DEFAULT_REGIONS if regions is None else regions
+        for name, (start, end) in source.items():
+            self._regions[name] = MemoryRegion(start, end, name)
+        self._validate_architectural_overlaps()
+
+    def _validate_architectural_overlaps(self):
+        names = sorted(self._regions)
+        for index, name_a in enumerate(names):
+            for name_b in names[index + 1 :]:
+                if self._regions[name_a].overlaps(self._regions[name_b]):
+                    raise ValueError(
+                        "regions %r and %r overlap" % (name_a, name_b)
+                    )
+
+    @classmethod
+    def default(cls):
+        """Return the default openMSP430-style layout."""
+        return cls()
+
+    def region(self, name):
+        """Return the region called *name*.
+
+        :raises KeyError: if the layout has no region of that name.
+        """
+        return self._regions[name]
+
+    def has_region(self, name):
+        """Return ``True`` if the layout defines *name*."""
+        return name in self._regions
+
+    def names(self):
+        """Return the region names."""
+        return list(self._regions)
+
+    def region_of(self, address):
+        """Return the name of the region containing *address*, or ``None``."""
+        for name, region in self._regions.items():
+            if region.contains(address):
+                return name
+        return None
+
+    @property
+    def data(self):
+        """The data-memory (SRAM) region."""
+        return self._regions["data"]
+
+    @property
+    def program(self):
+        """The program-memory region (excluding the IVT)."""
+        return self._regions["program"]
+
+    @property
+    def peripherals(self):
+        """The peripheral / special-function register region."""
+        return self._regions["peripherals"]
+
+    @property
+    def ivt(self):
+        """The interrupt-vector-table region (last 32 bytes)."""
+        return self._regions["ivt"]
+
+    def __iter__(self) -> Iterator[MemoryRegion]:
+        return iter(self._regions.values())
+
+    def __repr__(self):
+        return "MemoryLayout(%s)" % ", ".join(
+            str(region) for region in self._regions.values()
+        )

@@ -1,0 +1,145 @@
+"""Byte-addressable 64 KiB memory with access recording.
+
+The memory itself is policy-free: it performs every read and write it is
+asked to.  Security policies (VRASED key access control, APEX/ASAP ER-,
+OR- and IVT-protection) are enforced by the hardware-monitor modules,
+which observe the per-cycle signal bundle produced by the CPU and DMA
+engine rather than by intercepting memory traffic.  The optional watcher
+hooks here exist for debugging and for tests that want to assert on raw
+traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.memory.layout import ADDRESS_MASK, ADDRESS_SPACE_SIZE
+
+
+class MemoryError(Exception):
+    """Raised on malformed memory operations (bad address/width)."""
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """A single observed memory access (for watchers and tests)."""
+
+    address: int
+    value: int
+    size: int
+    is_write: bool
+    initiator: str = "cpu"
+
+
+class Memory:
+    """A flat 64 KiB little-endian memory.
+
+    ``load_bytes``/``load_words`` model load-time programming (flashing)
+    and bypass the watcher hooks; ``read_*``/``write_*`` model run-time
+    bus traffic.
+    """
+
+    def __init__(self, size=ADDRESS_SPACE_SIZE, fill=0x00):
+        if size <= 0 or size > ADDRESS_SPACE_SIZE:
+            raise MemoryError("invalid memory size %r" % (size,))
+        self._data = bytearray([fill & 0xFF]) * size
+        self._size = size
+        self._watchers: List[Callable[[MemoryAccess], None]] = []
+
+    # ------------------------------------------------------------ watchers
+
+    def add_watcher(self, callback):
+        """Register *callback* to be invoked with every :class:`MemoryAccess`."""
+        self._watchers.append(callback)
+
+    def remove_watcher(self, callback):
+        """Remove a previously registered watcher."""
+        self._watchers.remove(callback)
+
+    def _notify(self, access):
+        for watcher in self._watchers:
+            watcher(access)
+
+    # -------------------------------------------------------------- checks
+
+    @property
+    def size(self):
+        """The size of the memory in bytes."""
+        return self._size
+
+    def _check(self, address, width):
+        address &= ADDRESS_MASK
+        if address + width > self._size:
+            raise MemoryError(
+                "access of %d bytes at 0x%04X exceeds memory size 0x%04X"
+                % (width, address, self._size)
+            )
+        return address
+
+    # ------------------------------------------------------------- runtime
+
+    def read_byte(self, address, initiator="cpu"):
+        """Read one byte."""
+        address = self._check(address, 1)
+        value = self._data[address]
+        self._notify(MemoryAccess(address, value, 1, False, initiator))
+        return value
+
+    def write_byte(self, address, value, initiator="cpu"):
+        """Write one byte."""
+        address = self._check(address, 1)
+        value &= 0xFF
+        self._data[address] = value
+        self._notify(MemoryAccess(address, value, 1, True, initiator))
+
+    def read_word(self, address, initiator="cpu"):
+        """Read a 16-bit little-endian word (address is forced even)."""
+        address = self._check(address & 0xFFFE, 2)
+        value = self._data[address] | (self._data[address + 1] << 8)
+        self._notify(MemoryAccess(address, value, 2, False, initiator))
+        return value
+
+    def write_word(self, address, value, initiator="cpu"):
+        """Write a 16-bit little-endian word (address is forced even)."""
+        address = self._check(address & 0xFFFE, 2)
+        value &= 0xFFFF
+        self._data[address] = value & 0xFF
+        self._data[address + 1] = (value >> 8) & 0xFF
+        self._notify(MemoryAccess(address, value, 2, True, initiator))
+
+    # ------------------------------------------------------------ programming
+
+    def load_bytes(self, address, data):
+        """Store *data* starting at *address* without watcher notification."""
+        address = self._check(address, max(len(data), 1))
+        self._data[address : address + len(data)] = bytes(data)
+
+    def load_word(self, address, value):
+        """Store a single word at load time."""
+        address = self._check(address & 0xFFFE, 2)
+        self._data[address] = value & 0xFF
+        self._data[address + 1] = (value >> 8) & 0xFF
+
+    def peek_byte(self, address):
+        """Read one byte without watcher notification (debug/attestation)."""
+        return self._data[self._check(address, 1)]
+
+    def peek_word(self, address):
+        """Read one word without watcher notification (debug/attestation)."""
+        address = self._check(address & 0xFFFE, 2)
+        return self._data[address] | (self._data[address + 1] << 8)
+
+    def dump(self, start, length):
+        """Return ``length`` bytes starting at ``start`` (no notification)."""
+        start = self._check(start, max(length, 1))
+        return bytes(self._data[start : start + length])
+
+    def dump_region(self, region):
+        """Return the bytes covered by a :class:`MemoryRegion`."""
+        return self.dump(region.start, region.size)
+
+    def fill(self, start, length, value=0x00):
+        """Fill ``length`` bytes from ``start`` with *value* (load-time)."""
+        start = self._check(start, max(length, 1))
+        self._data[start : start + length] = bytes([value & 0xFF]) * length

@@ -1,0 +1,35 @@
+"""Peripheral models: GPIO ports, timer, UART, DMA engine and watchdog.
+
+Peripheral registers live in the memory-mapped peripheral region at the
+bottom of the address space (see :data:`repro.peripherals.registers`),
+so firmware configures them with ordinary ``MOV``/``BIS``/``BIC``
+instructions.  Each peripheral synchronises its internal state with its
+registers once per simulated step via :meth:`Peripheral.tick` and
+reports pending interrupts to the :class:`InterruptController`.
+
+The DMA engine is the one peripheral the security architecture cares
+about directly: APEX and ASAP both monitor the DMA address lines, and
+the reproduction's attack scenarios use it to attempt writes to the IVT
+and output region behind the CPU's back.
+"""
+
+from repro.peripherals.registers import PeripheralRegisters
+from repro.peripherals.base import Peripheral
+from repro.peripherals.gpio import GpioPort
+from repro.peripherals.timer import TimerA
+from repro.peripherals.uart import Uart
+from repro.peripherals.dma import DmaController
+from repro.peripherals.watchdog import Watchdog
+from repro.peripherals.interrupt_controller import InterruptController, InterruptSource
+
+__all__ = [
+    "PeripheralRegisters",
+    "Peripheral",
+    "GpioPort",
+    "TimerA",
+    "Uart",
+    "DmaController",
+    "Watchdog",
+    "InterruptController",
+    "InterruptSource",
+]

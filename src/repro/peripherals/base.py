@@ -1,0 +1,71 @@
+"""Common peripheral behaviour.
+
+A peripheral owns a handful of memory-mapped registers.  Register reads
+by the CPU simply read memory; the peripheral keeps the backing bytes up
+to date from :meth:`tick`, which the device calls once per simulated
+step with the number of CPU cycles that elapsed.
+
+Peripheral-internal register updates use the memory's load-time store so
+they do not appear as CPU or DMA bus traffic to the security monitors
+(on the real device they happen inside the peripheral, not on the
+monitored data bus).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class Peripheral:
+    """Base class for all peripherals."""
+
+    #: IVT index this peripheral raises, or ``None`` if it never interrupts.
+    ivt_index: Optional[int] = None
+
+    def __init__(self, memory, name):
+        self.memory = memory
+        self.name = name
+
+    # ------------------------------------------------------------ register io
+
+    def _read_byte(self, address):
+        return self.memory.peek_byte(address)
+
+    def _read_word(self, address):
+        return self.memory.peek_word(address)
+
+    def _store_byte(self, address, value):
+        self.memory.load_bytes(address, bytes([value & 0xFF]))
+
+    def _store_word(self, address, value):
+        self.memory.load_word(address, value & 0xFFFF)
+
+    def _set_bits_byte(self, address, bits):
+        self._store_byte(address, self._read_byte(address) | bits)
+
+    def _clear_bits_byte(self, address, bits):
+        self._store_byte(address, self._read_byte(address) & ~bits & 0xFF)
+
+    def _set_bits_word(self, address, bits):
+        self._store_word(address, self._read_word(address) | bits)
+
+    def _clear_bits_word(self, address, bits):
+        self._store_word(address, self._read_word(address) & ~bits & 0xFFFF)
+
+    # ------------------------------------------------------------ interface
+
+    def reset(self):
+        """Reset the peripheral's registers to their power-on values."""
+
+    def tick(self, elapsed_cycles):
+        """Advance the peripheral by *elapsed_cycles* CPU cycles."""
+
+    def interrupt_pending(self):
+        """Return ``True`` if the peripheral is requesting an interrupt."""
+        return False
+
+    def acknowledge_interrupt(self):
+        """Called by the interrupt controller when the CPU services the IRQ."""
+
+    def __repr__(self):
+        return "%s(%r)" % (type(self).__name__, self.name)

@@ -1,0 +1,86 @@
+"""Interrupt controller: priority arbitration of interrupt requests.
+
+The controller collects interrupt requests from every peripheral plus
+any externally injected ("manual") requests the scenarios raise, and
+offers the CPU the highest-priority pending source each step.  Higher
+IVT index means higher priority, matching the MSP430 convention where
+the reset vector (index 15) is the highest.
+
+The controller also supports *spoofed* interrupt sources: scenario code
+can register an arbitrary IVT index as pending without any peripheral
+backing it, which is how the attack suite models malware-triggered
+interrupts whose handlers live outside ER.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.peripherals.base import Peripheral
+
+
+@dataclass
+class InterruptSource:
+    """A manually injected interrupt request."""
+
+    ivt_index: int
+    sticky: bool = False
+    label: str = ""
+
+
+class InterruptController:
+    """Arbitrates between peripheral and injected interrupt requests."""
+
+    def __init__(self):
+        self._peripherals: List[Peripheral] = []
+        self._injected: Dict[int, InterruptSource] = {}
+        #: Count of serviced interrupts per IVT index (for tests/benches).
+        self.serviced: Dict[int, int] = {}
+
+    def attach(self, peripheral):
+        """Register *peripheral* as an interrupt source."""
+        if peripheral.ivt_index is not None:
+            self._peripherals.append(peripheral)
+
+    def inject(self, ivt_index, sticky=False, label=""):
+        """Inject a pending interrupt for *ivt_index*.
+
+        ``sticky`` requests stay pending after being serviced (modelling
+        a stuck request line); normal requests clear once serviced.
+        """
+        self._injected[ivt_index] = InterruptSource(ivt_index, sticky, label)
+
+    def clear_injected(self, ivt_index=None):
+        """Clear one injected request, or all of them."""
+        if ivt_index is None:
+            self._injected.clear()
+        else:
+            self._injected.pop(ivt_index, None)
+
+    def pending_sources(self):
+        """Return the sorted list of IVT indexes currently requesting."""
+        pending = set(self._injected)
+        for peripheral in self._peripherals:
+            if peripheral.interrupt_pending():
+                pending.add(peripheral.ivt_index)
+        return sorted(pending)
+
+    def highest_pending(self):
+        """Return the highest-priority pending IVT index, or ``None``."""
+        pending = self.pending_sources()
+        return pending[-1] if pending else None
+
+    def acknowledge(self, ivt_index):
+        """Tell the source of *ivt_index* that the CPU serviced it."""
+        self.serviced[ivt_index] = self.serviced.get(ivt_index, 0) + 1
+        source = self._injected.get(ivt_index)
+        if source is not None and not source.sticky:
+            del self._injected[ivt_index]
+        for peripheral in self._peripherals:
+            if peripheral.ivt_index == ivt_index:
+                peripheral.acknowledge_interrupt()
+
+    def total_serviced(self):
+        """Total number of serviced interrupts across all sources."""
+        return sum(self.serviced.values())

@@ -1,0 +1,98 @@
+"""Memory-mapped peripheral register addresses and interrupt vector map.
+
+The addresses follow the MSP430x1xx family conventions closely enough
+that firmware written against them reads like real MSP430 code.  All of
+them fall inside the ``peripherals`` region of the default
+:class:`~repro.memory.layout.MemoryLayout` (``0x0000``-``0x01FF``).
+"""
+
+from __future__ import annotations
+
+
+class PeripheralRegisters:
+    """Register address constants, grouped by peripheral."""
+
+    # --- GPIO port 1 (byte registers) ---------------------------------
+    P1IN = 0x0020
+    P1OUT = 0x0021
+    P1DIR = 0x0022
+    P1IFG = 0x0023
+    P1IE = 0x0025
+
+    # --- GPIO port 5 (byte registers; used by the paper's example ISR) -
+    P5IN = 0x0030
+    P5OUT = 0x0031
+    P5DIR = 0x0032
+    P5IFG = 0x0033
+    P5IE = 0x0035
+
+    # --- Watchdog ------------------------------------------------------
+    WDTCTL = 0x0120
+
+    # --- Timer A (word registers) --------------------------------------
+    TACTL = 0x0160
+    TACCTL0 = 0x0162
+    TAR = 0x0170
+    TACCR0 = 0x0172
+
+    # --- UART (byte registers) -----------------------------------------
+    UCTL = 0x0070
+    UTCTL = 0x0071
+    URCTL = 0x0072
+    URXBUF = 0x0076
+    UTXBUF = 0x0077
+    URXIFG = 0x0078
+    UTXIFG = 0x0079
+
+    # --- DMA controller (word registers) -------------------------------
+    DMACTL0 = 0x0122
+    DMA0CTL = 0x01C0
+    DMA0SA = 0x01C2
+    DMA0DA = 0x01C4
+    DMA0SZ = 0x01C6
+
+
+class TimerBits:
+    """Bit definitions for the timer control registers."""
+
+    #: TACTL: timer enabled (counts up) when set.
+    ENABLE = 0x0010
+    #: TACTL: clear the counter.
+    CLEAR = 0x0004
+    #: TACCTL0: capture/compare interrupt enable.
+    CCIE = 0x0010
+    #: TACCTL0: capture/compare interrupt flag.
+    CCIFG = 0x0001
+
+
+class DmaBits:
+    """Bit definitions for the DMA channel control register."""
+
+    #: DMA0CTL: channel enabled.
+    EN = 0x0010
+    #: DMA0CTL: software request (start the transfer now).
+    REQ = 0x0001
+    #: DMA0CTL: transfer complete flag.
+    IFG = 0x0008
+
+
+class WatchdogBits:
+    """Bit definitions for the watchdog control register."""
+
+    #: Password that must accompany every WDTCTL write.
+    PASSWORD = 0x5A00
+    #: Hold (stop) the watchdog.
+    HOLD = 0x0080
+
+
+class InterruptVectors:
+    """IVT indices used by the peripherals (0 = lowest priority)."""
+
+    PORT1 = 2
+    PORT5 = 3
+    DMA = 6
+    UART_RX = 9
+    TIMER_A0 = 12
+    WATCHDOG = 10
+    NMI = 14
+    RESET = 15

@@ -1,0 +1,84 @@
+"""Timer A model: an up-counting 16-bit timer with one compare channel.
+
+This is the asynchronous event source of the paper's syringe-pump
+example (Section 3): the firmware programs the compare register with the
+dosage duration, enables the compare interrupt, enters low-power mode
+and is woken by the timer ISR, which stops the injection.
+"""
+
+from __future__ import annotations
+
+from repro.peripherals.base import Peripheral
+from repro.peripherals.registers import InterruptVectors, PeripheralRegisters, TimerBits
+
+
+class TimerA(Peripheral):
+    """Up-mode timer with a single capture/compare channel (CCR0)."""
+
+    ivt_index = InterruptVectors.TIMER_A0
+
+    def __init__(self, memory, name="timer_a"):
+        super().__init__(memory, name)
+        self._pending = False
+
+    def reset(self):
+        self._store_word(PeripheralRegisters.TACTL, 0)
+        self._store_word(PeripheralRegisters.TACCTL0, 0)
+        self._store_word(PeripheralRegisters.TAR, 0)
+        self._store_word(PeripheralRegisters.TACCR0, 0)
+        self._pending = False
+
+    # ------------------------------------------------------------ state
+
+    @property
+    def enabled(self):
+        """``True`` when the timer is counting."""
+        return bool(self._read_word(PeripheralRegisters.TACTL) & TimerBits.ENABLE)
+
+    @property
+    def counter(self):
+        """Current counter (TAR) value."""
+        return self._read_word(PeripheralRegisters.TAR)
+
+    @property
+    def compare(self):
+        """Current compare (TACCR0) value."""
+        return self._read_word(PeripheralRegisters.TACCR0)
+
+    @property
+    def interrupt_enabled(self):
+        """``True`` when the CCR0 compare interrupt is enabled."""
+        return bool(self._read_word(PeripheralRegisters.TACCTL0) & TimerBits.CCIE)
+
+    # ------------------------------------------------------------ peripheral
+
+    def tick(self, elapsed_cycles):
+        control = self._read_word(PeripheralRegisters.TACTL)
+        if control & TimerBits.CLEAR:
+            self._store_word(PeripheralRegisters.TAR, 0)
+            self._clear_bits_word(PeripheralRegisters.TACTL, TimerBits.CLEAR)
+        if not control & TimerBits.ENABLE:
+            return
+        counter = self._read_word(PeripheralRegisters.TAR)
+        compare = self._read_word(PeripheralRegisters.TACCR0)
+        counter += elapsed_cycles
+        if compare and counter >= compare:
+            # Up mode: wrap to zero and raise the compare flag.
+            counter = counter % compare if compare else 0
+            self._set_bits_word(PeripheralRegisters.TACCTL0, TimerBits.CCIFG)
+            if self.interrupt_enabled:
+                self._pending = True
+        self._store_word(PeripheralRegisters.TAR, counter & 0xFFFF)
+
+    def interrupt_pending(self):
+        if self._pending:
+            return True
+        # Firmware may also set CCIFG directly (or it may still be set
+        # from a previous expiry that was never serviced).
+        flags = self._read_word(PeripheralRegisters.TACCTL0)
+        return bool(flags & TimerBits.CCIFG) and self.interrupt_enabled
+
+    def acknowledge_interrupt(self):
+        """CCR0 interrupts are auto-cleared when serviced (as on MSP430)."""
+        self._pending = False
+        self._clear_bits_word(PeripheralRegisters.TACCTL0, TimerBits.CCIFG)

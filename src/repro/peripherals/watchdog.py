@@ -1,0 +1,54 @@
+"""Watchdog timer model.
+
+The watchdog is included for completeness of the MCU substrate: firmware
+for MSP430-class parts conventionally stops it first thing
+(``MOV #0x5A80, &WDTCTL``), and several of the example programs do the
+same.  When running (not held) it counts CPU cycles and requests a
+device reset on expiry.
+"""
+
+from __future__ import annotations
+
+from repro.peripherals.base import Peripheral
+from repro.peripherals.registers import PeripheralRegisters, WatchdogBits
+
+
+#: Power-on interval in cycles before the watchdog fires.
+DEFAULT_INTERVAL = 32768
+
+
+class Watchdog(Peripheral):
+    """A down-counting watchdog that requests reset on expiry."""
+
+    def __init__(self, memory, name="watchdog", interval=DEFAULT_INTERVAL):
+        super().__init__(memory, name)
+        self.interval = interval
+        self._remaining = interval
+        self._expired = False
+
+    def reset(self):
+        self._store_word(PeripheralRegisters.WDTCTL, 0)
+        self._remaining = self.interval
+        self._expired = False
+
+    @property
+    def held(self):
+        """``True`` when firmware has stopped the watchdog."""
+        control = self._read_word(PeripheralRegisters.WDTCTL)
+        return bool(control & WatchdogBits.HOLD)
+
+    @property
+    def expired(self):
+        """``True`` once the watchdog has fired (device should reset)."""
+        return self._expired
+
+    def kick(self):
+        """Reload the counter (firmware writes the clear bit on hardware)."""
+        self._remaining = self.interval
+
+    def tick(self, elapsed_cycles):
+        if self.held or self._expired:
+            return
+        self._remaining -= elapsed_cycles
+        if self._remaining <= 0:
+            self._expired = True

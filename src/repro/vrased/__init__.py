@@ -1,0 +1,42 @@
+"""VRASED: the verified hybrid remote-attestation substrate.
+
+APEX (and therefore ASAP) is built on top of VRASED, a hardware/software
+co-design in which a small software routine (SW-Att) computes an HMAC
+over the attested memory and a hardware monitor guarantees that
+
+* the attestation key is only readable while the program counter is
+  inside SW-Att,
+* SW-Att executes atomically (entered only at its first instruction,
+  left only from its last, never interrupted),
+* DMA cannot touch the key or interfere with SW-Att execution.
+
+This package models those guarantees behaviourally:
+:class:`VrasedMonitor` watches the per-step signal bundles for
+violations, :class:`SwAtt` computes the measurement, and
+:mod:`repro.vrased.protocol` implements the verifier/prover
+challenge-response exchange of the paper's Fig. 1.
+"""
+
+from repro.vrased.config import VrasedConfig
+from repro.vrased.hwmod import VrasedMonitor, Violation
+from repro.vrased.swatt import SwAtt, AttestationReport
+from repro.vrased.protocol import (
+    AttestationProtocol,
+    AttestationRequest,
+    AttestationResult,
+    Verifier,
+    ProverStub,
+)
+
+__all__ = [
+    "VrasedConfig",
+    "VrasedMonitor",
+    "Violation",
+    "SwAtt",
+    "AttestationReport",
+    "AttestationProtocol",
+    "AttestationRequest",
+    "AttestationResult",
+    "Verifier",
+    "ProverStub",
+]

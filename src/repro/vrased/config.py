@@ -1,0 +1,88 @@
+"""VRASED deployment configuration: the reserved memory regions.
+
+A VRASED-enabled device reserves three regions:
+
+* ``key_region`` -- ROM holding the device master key ``K``,
+* ``swatt_region`` -- ROM holding the attestation routine (SW-Att),
+* ``attested_region`` -- the default memory range measured by plain RA
+  (usually all of program memory).
+
+The hardware monitor's access-control rules are stated in terms of these
+regions, so the configuration object is shared between the monitor, the
+SW-Att model and the protocol layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.memory.layout import MemoryLayout, MemoryRegion
+
+
+#: Default placement (within the default layout's program memory).
+DEFAULT_KEY_REGION = (0xA000, 0xA01F)
+DEFAULT_SWATT_REGION = (0xA020, 0xA3FF)
+
+
+@dataclass
+class VrasedConfig:
+    """Placement of the VRASED-reserved regions."""
+
+    key_region: MemoryRegion = field(
+        default_factory=lambda: MemoryRegion(*DEFAULT_KEY_REGION, name="key")
+    )
+    swatt_region: MemoryRegion = field(
+        default_factory=lambda: MemoryRegion(*DEFAULT_SWATT_REGION, name="swatt")
+    )
+    attested_region: Optional[MemoryRegion] = None
+    #: Exact address of SW-Att's legal exit instruction; ``None`` accepts
+    #: any exit from within the last two words of the SW-Att region.
+    swatt_exit: Optional[int] = None
+    #: Reset the device on violation (the real hardware does); the
+    #: behavioural monitor always *records* violations, and the device
+    #: harness consults this flag to decide whether to also reset.
+    reset_on_violation: bool = True
+
+    def __post_init__(self):
+        if self.key_region.overlaps(self.swatt_region):
+            raise ValueError("key region and SW-Att region must not overlap")
+
+    @classmethod
+    def for_layout(cls, layout: MemoryLayout):
+        """Build a configuration appropriate for *layout*.
+
+        The key and SW-Att regions are carved out of the bottom of
+        program memory; the attested region defaults to the remainder of
+        program memory.
+        """
+        program = layout.program
+        key_region = MemoryRegion(program.start, program.start + 0x1F, name="key")
+        swatt_region = MemoryRegion(program.start + 0x20, program.start + 0x3FF, name="swatt")
+        attested = MemoryRegion(swatt_region.end + 1, program.end, name="attested")
+        return cls(
+            key_region=key_region,
+            swatt_region=swatt_region,
+            attested_region=attested,
+        )
+
+    def validate_against(self, layout: MemoryLayout):
+        """Check that the reserved regions fall inside program memory.
+
+        :raises ValueError: when a region is misplaced.
+        """
+        program = layout.program
+        for region in (self.key_region, self.swatt_region):
+            if not program.contains_region(region):
+                raise ValueError(
+                    "%s must lie inside program memory %s" % (region, program)
+                )
+        if self.attested_region is not None:
+            if not (
+                program.contains_region(self.attested_region)
+                or layout.data.contains_region(self.attested_region)
+            ):
+                raise ValueError(
+                    "attested region %s must lie in program or data memory"
+                    % (self.attested_region,)
+                )

@@ -1,0 +1,183 @@
+"""The remote-attestation challenge-response protocol (paper Fig. 1).
+
+The protocol has four steps:
+
+1. the verifier sends an attestation request containing a fresh
+   challenge (optionally authenticated with a request-authentication
+   sub-key so the prover can reject spurious requests),
+2. the prover computes an authenticated integrity check (HMAC) over the
+   attested memory and the challenge,
+3. the prover returns the report,
+4. the verifier recomputes the expected measurement from its reference
+   copy of the software and compares.
+
+:class:`AttestationProtocol` drives both ends against a simulated
+:class:`~repro.device.Device`; :class:`Verifier` is reusable by the
+APEX/ASAP PoX protocols, which extend the measured material.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.crypto.hmac import hmac_sha256
+from repro.crypto.keys import DeviceKey, KeyStore, constant_time_compare
+from repro.memory.layout import MemoryRegion
+from repro.vrased.config import VrasedConfig
+from repro.vrased.hwmod import VrasedMonitor
+from repro.vrased.swatt import AttestationReport, SwAtt
+
+
+#: Default challenge length in bytes.
+CHALLENGE_LENGTH = 32
+
+
+@dataclass(frozen=True)
+class AttestationRequest:
+    """A verifier-issued attestation request."""
+
+    challenge: bytes
+    auth_token: bytes
+
+    def verify_token(self, device_key: DeviceKey):
+        """Prover-side check that the request came from the verifier."""
+        expected = hmac_sha256(device_key.authentication_key(), self.challenge)
+        return constant_time_compare(expected, self.auth_token)
+
+
+@dataclass
+class AttestationResult:
+    """Outcome of verifying a report."""
+
+    accepted: bool
+    reason: str = ""
+    report: Optional[AttestationReport] = None
+
+    def __bool__(self):
+        return self.accepted
+
+
+class Verifier:
+    """The verifier (Vrf): issues challenges and validates reports."""
+
+    def __init__(self, key_store: Optional[KeyStore] = None, rng=os.urandom):
+        self.key_store = key_store or KeyStore()
+        self._rng = rng
+        self._issued: Dict[bytes, str] = {}
+        #: Reference contents the verifier expects, per device and region
+        #: name: ``{device_id: [(region, bytes), ...]}``.
+        self.reference_memory: Dict[str, List] = {}
+
+    # ------------------------------------------------------------ enrolment
+
+    def enroll(self, device_id, master_key=None):
+        """Provision a device and return its :class:`DeviceKey`."""
+        return self.key_store.provision(device_id, master_key)
+
+    def set_reference(self, device_id, region_contents: Sequence):
+        """Record the expected contents of the measured regions."""
+        self.reference_memory[device_id] = [
+            (region, bytes(content)) for region, content in region_contents
+        ]
+
+    # ------------------------------------------------------------ protocol
+
+    def create_request(self, device_id):
+        """Step 1: produce a fresh challenge (and its authentication token)."""
+        device_key = self.key_store.get(device_id)
+        challenge = self._rng(CHALLENGE_LENGTH)
+        token = hmac_sha256(device_key.authentication_key(), challenge)
+        self._issued[challenge] = device_id
+        return AttestationRequest(challenge=challenge, auth_token=token)
+
+    def verify(self, report: AttestationReport, scalars=None,
+               region_contents=None) -> AttestationResult:
+        """Step 4: check a report against the reference state.
+
+        ``region_contents`` overrides the enrolled reference (used by the
+        PoX protocols, which add the output region whose contents the
+        verifier learns from the report itself).
+        """
+        if report.challenge not in self._issued:
+            return AttestationResult(False, "unknown or stale challenge", report)
+        device_id = self._issued[report.challenge]
+        if device_id != report.device_id:
+            return AttestationResult(False, "challenge issued to a different device", report)
+        device_key = self.key_store.get(device_id)
+        contents = region_contents
+        if contents is None:
+            contents = self.reference_memory.get(device_id, [])
+        expected = SwAtt.expected_measurement(
+            device_key, report.challenge, contents, scalars=scalars
+        )
+        if not constant_time_compare(expected, report.measurement):
+            return AttestationResult(False, "measurement mismatch", report)
+        del self._issued[report.challenge]
+        return AttestationResult(True, "measurement matches reference", report)
+
+
+@dataclass
+class ProverStub:
+    """Prover-side state: the device key plus the SW-Att instance."""
+
+    device_key: DeviceKey
+    swatt: SwAtt = None
+
+    def __post_init__(self):
+        if self.swatt is None:
+            self.swatt = SwAtt(self.device_key)
+
+
+class AttestationProtocol:
+    """Drives a full RA exchange against a simulated device."""
+
+    def __init__(self, device, verifier: Verifier, device_id,
+                 config: Optional[VrasedConfig] = None,
+                 monitor: Optional[VrasedMonitor] = None):
+        self.device = device
+        self.verifier = verifier
+        self.device_id = device_id
+        self.config = config or VrasedConfig.for_layout(device.layout)
+        self.monitor = monitor
+        self.device_key = (
+            verifier.key_store.get(device_id)
+            if verifier.key_store.has_device(device_id)
+            else verifier.enroll(device_id)
+        )
+        self.prover = ProverStub(device_key=self.device_key)
+
+    def attested_regions(self):
+        """The regions plain RA measures (program memory by default)."""
+        if self.config.attested_region is not None:
+            return [self.config.attested_region]
+        return [self.device.layout.program]
+
+    def snapshot_reference(self):
+        """Register the device's current memory as the verifier reference.
+
+        In a real deployment the verifier knows the deployed binary; for
+        the simulated device the most convenient way to obtain the same
+        knowledge is to snapshot memory right after flashing.
+        """
+        contents = [
+            (region, self.device.memory.dump_region(region))
+            for region in self.attested_regions()
+        ]
+        self.verifier.set_reference(self.device_id, contents)
+        return contents
+
+    def run(self) -> AttestationResult:
+        """Run one full challenge-response attestation exchange."""
+        request = self.verifier.create_request(self.device_id)
+        if not request.verify_token(self.device_key):
+            return AttestationResult(False, "request authentication failed")
+        if self.monitor is not None and self.monitor.violated:
+            # A tripped monitor means the device reset before SW-Att ran;
+            # the exchange simply never produces a report.
+            return AttestationResult(False, "device reset by VRASED monitor")
+        report = self.prover.swatt.measure(
+            self.device.memory, request.challenge, self.attested_regions()
+        )
+        return self.verifier.verify(report)

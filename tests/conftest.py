@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apex.regions import ExecutableRegion, MetadataRegion, OutputRegion, PoxConfig
+from repro.device.mcu import Device, DeviceConfig
+from repro.firmware.blinker import blinker_firmware
+from repro.firmware.syringe_pump import PumpParameters, syringe_pump_firmware
+from repro.firmware.testbench import PoxTestbench, TestbenchConfig
+from repro.isa.assembler import Assembler
+from repro.ltl.properties import MODEL_BUILDERS
+from repro.memory.memory import Memory
+
+
+@pytest.fixture
+def memory():
+    """A blank 64 KiB memory."""
+    return Memory()
+
+
+@pytest.fixture
+def device():
+    """A fresh device with no firmware loaded."""
+    return Device(DeviceConfig())
+
+
+@pytest.fixture
+def assembler():
+    """A default assembler instance."""
+    return Assembler()
+
+
+@pytest.fixture
+def pox_config():
+    """A PoX geometry usable with the default memory layout."""
+    return PoxConfig(
+        executable=ExecutableRegion.spanning(0xE000, 0xE07F, entry=0xE000, exit=0xE07E),
+        output=OutputRegion.spanning(0x0600, 0x063F),
+        metadata=MetadataRegion.at(0x0400),
+    )
+
+
+@pytest.fixture
+def pump_bench():
+    """An ASAP testbench running the interrupt-driven syringe pump."""
+    return PoxTestbench(
+        syringe_pump_firmware(PumpParameters(dosage_cycles=120)),
+        TestbenchConfig(architecture="asap"),
+    )
+
+
+@pytest.fixture
+def blinker_bench():
+    """An ASAP testbench running the paper's Fig. 4 blinker firmware."""
+    return PoxTestbench(blinker_firmware(authorized=True), TestbenchConfig())
+
+
+@pytest.fixture
+def apex_blinker_bench():
+    """The same blinker firmware under the original APEX monitor."""
+    return PoxTestbench(
+        blinker_firmware(authorized=True), TestbenchConfig(architecture="apex")
+    )
+
+
+@pytest.fixture(scope="session")
+def verification_models():
+    """All abstract monitor models, built once per test session."""
+    return {name: builder() for name, builder in MODEL_BUILDERS.items()}

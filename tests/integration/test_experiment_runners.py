@@ -1,0 +1,62 @@
+"""Integration tests for the programmatic experiment runners."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    run_busywait_ablation,
+    run_fig5_waveforms,
+    run_fig6_overhead,
+    run_runtime_overhead,
+)
+from repro.experiments.__main__ import ALL_IDS, main
+
+
+class TestIndividualRunners:
+    def test_fig5_runner_covers_three_scenarios(self):
+        result = run_fig5_waveforms()
+        assert result.succeeded
+        assert len(result.rows) == 3
+        assert [row["proof accepted"] for row in result.rows] == [True, False, False]
+
+    def test_fig6_runner_reports_negative_deltas(self):
+        result = run_fig6_overhead()
+        assert result.succeeded
+        delta_row = result.rows[-1]
+        assert delta_row["luts"] < 0 and delta_row["registers"] < 0
+
+    def test_runtime_runner_zero_overhead(self):
+        result = run_runtime_overhead()
+        assert result.succeeded
+        assert all(row["overhead vs. unprotected"] == 0 for row in result.rows)
+
+    def test_busywait_runner_parameters(self):
+        result = run_busywait_ablation(dosage_cycles=150, abort_step=20)
+        assert result.succeeded
+        assert len(result.rows) == 2
+
+    def test_render_produces_table_text(self):
+        result = run_fig6_overhead()
+        text = result.render()
+        assert "E4-E5" in text and "apex_hwmod" in text and "status: ok" in text
+
+    def test_result_dataclass_defaults(self):
+        result = ExperimentResult("EX", "title")
+        assert result.succeeded
+        assert "EX" in result.render()
+
+
+class TestCommandLine:
+    def test_list_option(self, capsys):
+        assert main(["--list"]) == 0
+        printed = capsys.readouterr().out.split()
+        assert printed == ALL_IDS
+
+    def test_unknown_id_rejected(self, capsys):
+        assert main(["E42"]) == 2
+
+    def test_single_experiment_run(self, capsys):
+        assert main(["E7"]) == 0
+        output = capsys.readouterr().out
+        assert "Runtime overhead" in output
+        assert "All 1 experiments" in output

@@ -1,0 +1,87 @@
+"""Integration tests for the Fig. 5 waveform scenarios.
+
+Each test replays one of the paper's three simulation waveforms and
+asserts on the qualitative signal behaviour the figure shows: where the
+PC jumps when the interrupt is accepted, and what happens to EXEC.
+"""
+
+from repro.firmware.blinker import blinker_firmware
+from repro.firmware.testbench import PoxTestbench, TestbenchConfig
+
+
+def run_scenario(architecture, authorized, press_at=6):
+    bench = PoxTestbench(
+        blinker_firmware(authorized=authorized),
+        TestbenchConfig(architecture=architecture),
+    )
+    bench.run_pox(setup=lambda d: d.schedule_button_press(press_at))
+    waveform = bench.waveform(["EXEC", "irq", "PC"])
+    return bench, waveform
+
+
+class TestFig5aAuthorizedInterruptAsap:
+    def test_exec_stays_high_across_the_interrupt(self):
+        bench, waveform = run_scenario("asap", authorized=True)
+        irq_series = waveform.series("irq")
+        exec_series = waveform.series("EXEC")
+        assert 1 in irq_series
+        irq_index = irq_series.index(1)
+        # EXEC was 1 before the interrupt and remains 1 afterwards.
+        assert exec_series[irq_index - 1] == 1
+        assert all(value == 1 for value in exec_series[irq_index:irq_index + 5])
+        assert waveform.final_value("EXEC") == 1
+
+    def test_pc_jumps_to_isr_inside_er(self):
+        bench, waveform = run_scenario("asap", authorized=True)
+        irq_entry = bench.device.trace.steps_with_irq()[0]
+        isr_address = bench.firmware.symbol("trusted_isr")
+        assert irq_entry.next_pc == isr_address
+        assert bench.executable.contains(isr_address)
+
+
+class TestFig5bUnauthorizedInterruptAsap:
+    def test_exec_drops_when_pc_leaves_er(self):
+        bench, waveform = run_scenario("asap", authorized=False)
+        irq_series = waveform.series("irq")
+        exec_series = waveform.series("EXEC")
+        irq_index = irq_series.index(1)
+        assert exec_series[irq_index - 1] == 1
+        # Once the ISR outside ER starts executing, EXEC is 0 and stays 0.
+        assert 0 in exec_series[irq_index:]
+        assert waveform.final_value("EXEC") == 0
+
+    def test_pc_jumps_outside_er(self):
+        bench, _ = run_scenario("asap", authorized=False)
+        irq_entry = bench.device.trace.steps_with_irq()[0]
+        assert not bench.executable.contains(irq_entry.next_pc)
+
+
+class TestFig5cAnyInterruptApex:
+    def test_exec_drops_even_for_in_er_handler(self):
+        bench, waveform = run_scenario("apex", authorized=True)
+        irq_series = waveform.series("irq")
+        exec_series = waveform.series("EXEC")
+        irq_index = irq_series.index(1)
+        assert exec_series[irq_index - 1] == 1
+        assert waveform.final_value("EXEC") == 0
+        assert bench.monitor.violations_for("ltl3-interrupt")
+
+    def test_handler_location_is_irrelevant_under_apex(self):
+        bench, _ = run_scenario("apex", authorized=True)
+        irq_entry = bench.device.trace.steps_with_irq()[0]
+        # The handler is inside ER, yet the proof is still invalid.
+        assert bench.executable.contains(irq_entry.next_pc)
+        assert bench.monitor.exec_value() == 0
+
+
+class TestWaveformRendering:
+    def test_ascii_waveform_mentions_all_signals(self):
+        _, waveform = run_scenario("asap", authorized=True)
+        text = waveform.to_ascii()
+        for name in ("EXEC", "irq", "PC"):
+            assert name in text
+
+    def test_rows_export_has_one_row_per_step(self):
+        bench, waveform = run_scenario("asap", authorized=True)
+        rows = waveform.to_rows()
+        assert len(rows) == len(bench.trace_entries())

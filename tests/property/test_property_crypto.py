@@ -1,0 +1,76 @@
+"""Property-based tests: crypto primitives agree with the standard library."""
+
+import hashlib
+import hmac as std_hmac
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.hmac import hmac_sha256, verify_hmac
+from repro.crypto.keys import constant_time_compare, derive_key
+from repro.crypto.sha256 import Sha256, sha256
+
+
+class TestSha256Properties:
+    @given(st.binary(min_size=0, max_size=2048))
+    @settings(max_examples=150)
+    def test_matches_hashlib(self, message):
+        assert sha256(message) == hashlib.sha256(message).digest()
+
+    @given(st.binary(max_size=300), st.binary(max_size=300))
+    @settings(max_examples=100)
+    def test_incremental_equals_concatenated(self, first, second):
+        hasher = Sha256()
+        hasher.update(first)
+        hasher.update(second)
+        assert hasher.digest() == sha256(first + second)
+
+    @given(st.binary(max_size=200), st.binary(min_size=1, max_size=200))
+    @settings(max_examples=100)
+    def test_distinct_suffixes_give_distinct_digests(self, prefix, suffix):
+        assert sha256(prefix) != sha256(prefix + suffix)
+
+
+class TestHmacProperties:
+    @given(st.binary(min_size=0, max_size=128), st.binary(min_size=0, max_size=512))
+    @settings(max_examples=150)
+    def test_matches_stdlib_hmac(self, key, message):
+        assert hmac_sha256(key, message) == std_hmac.new(
+            key, message, hashlib.sha256
+        ).digest()
+
+    @given(st.binary(min_size=1, max_size=64), st.binary(max_size=128))
+    @settings(max_examples=100)
+    def test_verify_accepts_genuine_tags(self, key, message):
+        assert verify_hmac(key, message, hmac_sha256(key, message))
+
+    @given(
+        st.binary(min_size=1, max_size=64),
+        st.binary(max_size=128),
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=31),
+    )
+    @settings(max_examples=100)
+    def test_verify_rejects_any_single_byte_corruption(self, key, message, delta, index):
+        tag = bytearray(hmac_sha256(key, message))
+        original = tag[index]
+        tag[index] = (original ^ (delta or 1)) & 0xFF
+        assert not verify_hmac(key, message, bytes(tag))
+
+
+class TestKeyDerivationProperties:
+    @given(st.binary(min_size=16, max_size=64), st.text(min_size=1, max_size=20))
+    @settings(max_examples=100)
+    def test_derivation_deterministic(self, master, label):
+        assert derive_key(master, label) == derive_key(master, label)
+
+    @given(st.binary(min_size=16, max_size=64),
+           st.text(min_size=1, max_size=20), st.text(min_size=1, max_size=20))
+    @settings(max_examples=100)
+    def test_distinct_labels_distinct_keys(self, master, label_a, label_b):
+        if label_a != label_b:
+            assert derive_key(master, label_a) != derive_key(master, label_b)
+
+    @given(st.binary(max_size=64), st.binary(max_size=64))
+    @settings(max_examples=150)
+    def test_constant_time_compare_equals_python_equality(self, a, b):
+        assert constant_time_compare(a, b) == (a == b)

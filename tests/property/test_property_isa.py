@@ -1,0 +1,111 @@
+"""Property-based tests for the ISA: encode/decode round trips."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.encoding import decode_instruction, encode_instruction
+from repro.isa.instructions import (
+    AddressingMode,
+    Instruction,
+    InstructionFormat,
+    Opcode,
+    Operand,
+)
+
+
+FORMAT_I_OPCODES = [op for op in Opcode if op.format is InstructionFormat.DOUBLE_OPERAND]
+FORMAT_II_OPCODES = [
+    op for op in Opcode
+    if op.format is InstructionFormat.SINGLE_OPERAND and op is not Opcode.RETI
+]
+JUMP_OPCODES = [op for op in Opcode if op.format is InstructionFormat.JUMP]
+
+
+def source_operands():
+    registers = st.integers(min_value=4, max_value=15)
+    values = st.integers(min_value=0, max_value=0xFFFF)
+    return st.one_of(
+        registers.map(Operand.reg),
+        values.map(Operand.imm),
+        values.map(Operand.absolute),
+        st.tuples(registers, values).map(lambda pair: Operand.indexed(*pair)),
+        registers.map(lambda r: Operand.indirect(r)),
+        registers.map(lambda r: Operand.indirect(r, autoincrement=True)),
+    )
+
+
+def destination_operands():
+    registers = st.integers(min_value=4, max_value=15)
+    values = st.integers(min_value=0, max_value=0xFFFF)
+    return st.one_of(
+        registers.map(Operand.reg),
+        values.map(Operand.absolute),
+        st.tuples(registers, values).map(lambda pair: Operand.indexed(*pair)),
+    )
+
+
+@st.composite
+def format_i_instructions(draw):
+    return Instruction(
+        opcode=draw(st.sampled_from(FORMAT_I_OPCODES)),
+        src=draw(source_operands()),
+        dst=draw(destination_operands()),
+        byte_mode=draw(st.booleans()),
+    )
+
+
+@st.composite
+def format_ii_instructions(draw):
+    return Instruction(
+        opcode=draw(st.sampled_from(FORMAT_II_OPCODES)),
+        src=draw(source_operands()),
+        byte_mode=draw(st.booleans()),
+    )
+
+
+@st.composite
+def jump_instructions(draw):
+    offset = draw(st.integers(min_value=-512, max_value=511)) * 2
+    return Instruction(opcode=draw(st.sampled_from(JUMP_OPCODES)), jump_offset=offset)
+
+
+def instructions():
+    return st.one_of(format_i_instructions(), format_ii_instructions(), jump_instructions())
+
+
+class TestEncodingRoundTrip:
+    @given(instructions())
+    @settings(max_examples=300)
+    def test_decode_inverts_encode(self, instruction):
+        words = encode_instruction(instruction)
+        decoded, consumed = decode_instruction(words)
+        assert consumed == len(words)
+        assert decoded.opcode is instruction.opcode
+        assert decoded.byte_mode == instruction.byte_mode
+        if instruction.format is InstructionFormat.JUMP:
+            assert decoded.jump_offset == instruction.jump_offset
+        else:
+            assert decoded.src.mode is instruction.src.mode
+            if instruction.src.mode in (
+                AddressingMode.IMMEDIATE,
+                AddressingMode.ABSOLUTE,
+                AddressingMode.INDEXED,
+                AddressingMode.CONSTANT,
+            ):
+                assert decoded.src.value == instruction.src.value & 0xFFFF
+        if instruction.format is InstructionFormat.DOUBLE_OPERAND:
+            assert decoded.dst.mode is instruction.dst.mode
+
+    @given(instructions())
+    @settings(max_examples=200)
+    def test_encoded_size_matches_declared_size(self, instruction):
+        assert len(encode_instruction(instruction)) == instruction.size_words()
+
+    @given(instructions())
+    @settings(max_examples=200)
+    def test_every_word_fits_16_bits(self, instruction):
+        assert all(0 <= word <= 0xFFFF for word in encode_instruction(instruction))
+
+    @given(instructions())
+    @settings(max_examples=200)
+    def test_cycle_estimate_positive(self, instruction):
+        assert instruction.cycles() >= 1

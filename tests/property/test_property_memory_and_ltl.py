@@ -1,0 +1,112 @@
+"""Property-based tests for memory, assembler sizing and LTL semantics."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ltl.ast import Atom, Globally, Implies, Next, Not
+from repro.ltl.parser import parse_ltl
+from repro.ltl.trace_checker import check_trace, evaluate_at, find_violation
+from repro.memory.layout import MemoryRegion
+from repro.memory.memory import Memory
+
+
+class TestMemoryProperties:
+    @given(st.integers(min_value=0, max_value=0xFFFE),
+           st.integers(min_value=0, max_value=0xFFFF))
+    @settings(max_examples=200)
+    def test_word_write_read_roundtrip(self, address, value):
+        memory = Memory()
+        memory.write_word(address, value)
+        assert memory.peek_word(address) == value
+
+    @given(st.integers(min_value=0, max_value=0xFFFF),
+           st.binary(min_size=1, max_size=64))
+    @settings(max_examples=200)
+    def test_load_dump_roundtrip(self, address, data):
+        if address + len(data) > 0x10000:
+            address = 0x10000 - len(data)
+        memory = Memory()
+        memory.load_bytes(address, data)
+        assert memory.dump(address, len(data)) == data
+
+    @given(st.integers(min_value=0, max_value=0xFFF0),
+           st.integers(min_value=0, max_value=0xF))
+    @settings(max_examples=200)
+    def test_region_contains_is_consistent_with_bounds(self, start, length):
+        region = MemoryRegion(start, start + length)
+        for address in (start, start + length):
+            assert region.contains(address)
+        if start > 0:
+            assert not region.contains(start - 1)
+        if start + length < 0xFFFF:
+            assert not region.contains(start + length + 1)
+
+    @given(st.integers(min_value=0, max_value=0xFF00),
+           st.integers(min_value=0, max_value=0xFF),
+           st.integers(min_value=0, max_value=0xFF00),
+           st.integers(min_value=0, max_value=0xFF))
+    @settings(max_examples=200)
+    def test_overlap_is_symmetric(self, start_a, len_a, start_b, len_b):
+        region_a = MemoryRegion(start_a, start_a + len_a)
+        region_b = MemoryRegion(start_b, start_b + len_b)
+        assert region_a.overlaps(region_b) == region_b.overlaps(region_a)
+
+
+#: Random finite traces over three atoms.
+traces = st.lists(
+    st.fixed_dictionaries({
+        "p": st.booleans(),
+        "q": st.booleans(),
+        "r": st.booleans(),
+    }),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestLtlSemanticsProperties:
+    @given(traces)
+    @settings(max_examples=200)
+    def test_globally_p_iff_no_violation_found(self, trace):
+        formula = Globally(Atom("p"))
+        holds = check_trace(formula, trace)
+        violation = find_violation(formula, trace)
+        assert holds == (violation is None)
+        if violation is not None:
+            assert not trace[violation]["p"]
+
+    @given(traces)
+    @settings(max_examples=200)
+    def test_double_negation(self, trace):
+        assert check_trace(Not(Not(Atom("p"))), trace) == check_trace(Atom("p"), trace)
+
+    @given(traces)
+    @settings(max_examples=200)
+    def test_implication_equivalence(self, trace):
+        implication = Implies(Atom("p"), Atom("q"))
+        disjunction = parse_ltl("!p | q")
+        assert check_trace(implication, trace) == check_trace(disjunction, trace)
+
+    @given(traces, st.integers(min_value=0, max_value=11))
+    @settings(max_examples=200)
+    def test_next_shifts_evaluation(self, trace, position):
+        if position >= len(trace) - 1:
+            return
+        assert evaluate_at(Next(Atom("q")), trace, position) == evaluate_at(
+            Atom("q"), trace, position + 1
+        )
+
+    @given(traces)
+    @settings(max_examples=200)
+    def test_globally_monotone_in_suffix(self, trace):
+        formula = Globally(Atom("p"))
+        if check_trace(formula, trace):
+            for position in range(len(trace)):
+                assert evaluate_at(formula, trace, position)
+
+    @given(traces)
+    @settings(max_examples=150)
+    def test_parser_and_str_are_inverse_on_suite_shapes(self, trace):
+        formula = parse_ltl("G (p & q -> X r)")
+        assert parse_ltl(str(formula)) == formula
+        # Semantics preserved through the round trip as well.
+        assert check_trace(parse_ltl(str(formula)), trace) == check_trace(formula, trace)

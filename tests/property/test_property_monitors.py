@@ -1,0 +1,173 @@
+"""Property-based tests on the security monitors' invariants.
+
+Random sequences of monitor-visible events are generated and the key
+ASAP/APEX invariants are checked after every step:
+
+* EXEC is 1 only if execution has (re)started at ER_min and no violation
+  happened since that restart;
+* under APEX, EXEC is 0 whenever an interrupt occurred inside ER since
+  the last restart;
+* the IVT-guard FSM is in NotExec iff an IVT write happened since the
+  last ER_min restart.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.apex.hwmod import ApexMonitor
+from repro.apex.regions import ExecutableRegion, MetadataRegion, OutputRegion, PoxConfig
+from repro.core.hwmod import AsapMonitor
+from repro.core.ivt_guard import IvtGuard, IvtGuardState
+from repro.cpu.signals import MemoryWrite, SignalBundle
+from repro.memory.ivt import IVT_BASE, IVT_END
+from repro.memory.layout import MemoryRegion
+
+
+ER_MIN = 0xE000
+ER_MAX = 0xE07E
+IVT_REGION = MemoryRegion(IVT_BASE, IVT_END, "ivt")
+
+
+def make_config():
+    return PoxConfig(
+        executable=ExecutableRegion.spanning(ER_MIN, 0xE07F, entry=ER_MIN, exit=ER_MAX),
+        output=OutputRegion.spanning(0x0600, 0x063F),
+        metadata=MetadataRegion.at(0x0400),
+    )
+
+
+#: One abstract event: where the PC is, whether an interrupt fired and
+#: which (if any) sensitive location gets written.
+events = st.lists(
+    st.fixed_dictionaries({
+        "pc": st.sampled_from([ER_MIN, ER_MIN + 10, ER_MAX, 0xC000, 0xC100]),
+        "next_pc": st.sampled_from([ER_MIN, ER_MIN + 12, ER_MAX, 0xC000, 0xC102]),
+        "irq": st.booleans(),
+        "write": st.sampled_from([
+            None, "ivt", "er", "or", "metadata", "unrelated",
+        ]),
+        "dma": st.booleans(),
+    }),
+    min_size=1,
+    max_size=40,
+)
+
+
+def to_bundle(event, cycle, config):
+    write_targets = {
+        None: [],
+        "ivt": [IVT_BASE + 2],
+        "er": [config.executable.region.start + 4],
+        "or": [config.output.region.start],
+        "metadata": [config.metadata.region.start],
+        "unrelated": [0x0800],
+    }
+    addresses = write_targets[event["write"]]
+    writes = [] if event["dma"] else [MemoryWrite(a, 0, 2) for a in addresses]
+    dma_writes = [MemoryWrite(a, 0, 2) for a in addresses] if event["dma"] else []
+    return SignalBundle(
+        cycle=cycle,
+        pc=event["pc"],
+        next_pc=event["next_pc"],
+        irq=event["irq"],
+        dma_en=bool(dma_writes),
+        writes=writes,
+        dma_writes=dma_writes,
+    )
+
+
+class TestAsapMonitorInvariants:
+    @given(events)
+    @settings(max_examples=150, deadline=None)
+    def test_exec_implies_no_violation_since_last_restart(self, sequence):
+        config = make_config()
+        monitor = AsapMonitor(config)
+        violations_since_restart = 0
+        started = False
+        for cycle, event in enumerate(sequence, start=1):
+            before = len(monitor.violations)
+            monitor.observe(to_bundle(event, cycle, config))
+            new_violations = len(monitor.violations) - before
+            if new_violations:
+                violations_since_restart += new_violations
+            elif event["pc"] == ER_MIN:
+                violations_since_restart = 0
+                started = True
+            if monitor.exec_flag:
+                assert started
+                assert violations_since_restart == 0
+            if violations_since_restart:
+                assert not monitor.exec_flag
+
+    @given(events)
+    @settings(max_examples=100, deadline=None)
+    def test_ivt_write_always_clears_exec(self, sequence):
+        config = make_config()
+        monitor = AsapMonitor(config)
+        for cycle, event in enumerate(sequence, start=1):
+            monitor.observe(to_bundle(event, cycle, config))
+            if event["write"] == "ivt":
+                assert not monitor.exec_flag
+                assert monitor.violations_for("ap1-ivt-modified")
+
+    @given(events)
+    @settings(max_examples=100, deadline=None)
+    def test_interrupts_alone_never_violate_asap(self, sequence):
+        config = make_config()
+        monitor = AsapMonitor(config)
+        for cycle, event in enumerate(sequence, start=1):
+            clean = dict(event)
+            clean["write"] = None
+            # Keep the PC inside ER with legal transitions so only the irq
+            # dimension varies.
+            clean["pc"] = ER_MIN if cycle == 1 else ER_MIN + 10
+            clean["next_pc"] = ER_MIN + 10
+            clean["dma"] = False
+            monitor.observe(to_bundle(clean, cycle, config))
+        assert not monitor.violated
+
+
+class TestApexMonitorInvariants:
+    @given(events)
+    @settings(max_examples=100, deadline=None)
+    def test_irq_inside_er_always_clears_exec(self, sequence):
+        config = make_config()
+        monitor = ApexMonitor(config)
+        for cycle, event in enumerate(sequence, start=1):
+            monitor.observe(to_bundle(event, cycle, config))
+            if event["irq"] and config.executable.contains(event["pc"]):
+                assert not monitor.exec_flag
+
+    @given(events)
+    @settings(max_examples=100, deadline=None)
+    def test_apex_violations_are_a_superset_of_asap(self, sequence):
+        """Every sequence APEX accepts (EXEC=1), ASAP accepts as well --
+        except possibly for AP1, which APEX lacks; filtering IVT writes
+        out makes the superset relation exact."""
+        config = make_config()
+        apex = ApexMonitor(config)
+        asap = AsapMonitor(config)
+        for cycle, event in enumerate(sequence, start=1):
+            if event["write"] == "ivt":
+                event = dict(event, write="unrelated")
+            bundle = to_bundle(event, cycle, config)
+            apex.observe(bundle)
+            asap.observe(bundle)
+        if apex.exec_flag:
+            assert asap.exec_flag
+
+
+class TestIvtGuardInvariants:
+    @given(events)
+    @settings(max_examples=150, deadline=None)
+    def test_guard_state_tracks_writes_since_restart(self, sequence):
+        config = make_config()
+        guard = IvtGuard(IVT_REGION, ER_MIN)
+        expected_not_exec = False
+        for cycle, event in enumerate(sequence, start=1):
+            bundle = to_bundle(event, cycle, config)
+            guard.observe(bundle)
+            if event["write"] == "ivt":
+                expected_not_exec = True
+            elif expected_not_exec and event["pc"] == ER_MIN:
+                expected_not_exec = False
+            assert (guard.state is IvtGuardState.NOT_EXEC) == expected_not_exec

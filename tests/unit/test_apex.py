@@ -1,0 +1,252 @@
+"""Unit tests for the APEX layer: regions, the EXEC monitor and the PoX
+protocol plumbing."""
+
+import pytest
+
+from repro.apex.hwmod import ApexMonitor
+from repro.apex.pox import PoxProtocol, PoxVerifier
+from repro.apex.regions import (
+    ExecutableRegion,
+    MetadataRegion,
+    OutputRegion,
+    PoxConfig,
+)
+from repro.cpu.signals import MemoryWrite, SignalBundle
+from repro.memory.layout import MemoryLayout, MemoryRegion
+from repro.memory.memory import Memory
+
+
+ER_MIN = 0xE000
+ER_MAX = 0xE07E
+
+
+def bundle(pc, next_pc=None, irq=False, writes=(), dma_writes=(), cycle=1):
+    return SignalBundle(
+        cycle=cycle,
+        pc=pc,
+        next_pc=pc + 2 if next_pc is None else next_pc,
+        irq=irq,
+        dma_en=bool(dma_writes),
+        writes=[MemoryWrite(address, 0, 2) for address in writes],
+        dma_writes=[MemoryWrite(address, 0, 2) for address in dma_writes],
+    )
+
+
+@pytest.fixture
+def monitor(pox_config):
+    return ApexMonitor(pox_config)
+
+
+class TestExecutableRegion:
+    def test_entry_exit_must_lie_inside(self):
+        with pytest.raises(ValueError):
+            ExecutableRegion.spanning(0xE000, 0xE07F, entry=0xD000)
+        with pytest.raises(ValueError):
+            ExecutableRegion.spanning(0xE000, 0xE07F, exit=0xF000)
+
+    def test_isr_entries_must_lie_inside(self):
+        with pytest.raises(ValueError):
+            ExecutableRegion.spanning(0xE000, 0xE07F, isr_entries={2: 0xA000})
+
+    def test_properties(self):
+        er = ExecutableRegion.spanning(0xE000, 0xE07F, entry=0xE000, exit=0xE07E,
+                                       isr_entries={2: 0xE020})
+        assert er.er_min == 0xE000
+        assert er.er_max == 0xE07E
+        assert er.contains(0xE020)
+        assert not er.contains(0xE080)
+
+
+class TestMetadataRegion:
+    def test_write_and_read_back(self):
+        memory = Memory()
+        metadata = MetadataRegion.at(0x0400)
+        er = ExecutableRegion.spanning(ER_MIN, 0xE07F, exit=ER_MAX)
+        output = OutputRegion.spanning(0x0600, 0x063F)
+        challenge = bytes(range(32))
+        metadata.write(memory, challenge, er, output)
+        assert metadata.read_challenge(memory) == challenge
+        assert metadata.read_params(memory) == (ER_MIN, ER_MAX, 0x0600, 0x063F)
+
+    def test_challenge_length_enforced(self):
+        memory = Memory()
+        metadata = MetadataRegion.at(0x0400)
+        er = ExecutableRegion.spanning(ER_MIN, 0xE07F)
+        output = OutputRegion.spanning(0x0600, 0x063F)
+        with pytest.raises(ValueError):
+            metadata.write(memory, b"short", er, output)
+
+    def test_region_size(self):
+        assert MetadataRegion.at(0x0400).region.size == 40
+
+
+class TestPoxConfig:
+    def test_valid_geometry(self, pox_config):
+        pox_config.validate_against(MemoryLayout.default())
+
+    def test_er_must_be_in_program_memory(self):
+        config = PoxConfig(
+            executable=ExecutableRegion.spanning(0x0300, 0x03FF),
+            output=OutputRegion.spanning(0x0600, 0x063F),
+            metadata=MetadataRegion.at(0x0400),
+        )
+        with pytest.raises(ValueError):
+            config.validate_against(MemoryLayout.default())
+
+    def test_or_and_metadata_must_not_overlap(self):
+        config = PoxConfig(
+            executable=ExecutableRegion.spanning(0xE000, 0xE0FF),
+            output=OutputRegion.spanning(0x0400, 0x043F),
+            metadata=MetadataRegion.at(0x0400),
+        )
+        with pytest.raises(ValueError):
+            config.validate_against(MemoryLayout.default())
+
+    def test_measured_regions_order(self, pox_config):
+        regions = pox_config.measured_regions()
+        assert regions[0] is pox_config.metadata.region
+        assert regions[1] is pox_config.executable.region
+        assert regions[2] is pox_config.output.region
+
+
+class TestApexMonitorControlFlow:
+    def test_exec_rises_at_er_min(self, monitor):
+        assert not monitor.exec_flag
+        monitor.observe(bundle(ER_MIN))
+        assert monitor.exec_flag
+        assert monitor.execution_started
+
+    def test_exec_does_not_rise_elsewhere(self, monitor):
+        monitor.observe(bundle(0xC000))
+        monitor.observe(bundle(ER_MIN + 10))
+        assert not monitor.exec_flag
+
+    def test_ltl1_illegal_exit_clears_exec(self, monitor):
+        monitor.observe(bundle(ER_MIN))
+        monitor.observe(bundle(ER_MIN + 10, next_pc=0xC000))
+        assert not monitor.exec_flag
+        assert monitor.violations_for("ltl1-exit")
+
+    def test_legal_exit_through_er_max_keeps_exec(self, monitor):
+        monitor.observe(bundle(ER_MIN))
+        monitor.observe(bundle(ER_MAX, next_pc=0xC000))
+        assert monitor.exec_flag
+        assert monitor.execution_completed
+
+    def test_ltl2_illegal_entry_clears_exec(self, monitor):
+        monitor.observe(bundle(ER_MIN))
+        monitor.observe(bundle(ER_MAX, next_pc=0xC000))
+        monitor.observe(bundle(0xC000, next_pc=ER_MIN + 8))
+        assert not monitor.exec_flag
+        assert monitor.violations_for("ltl2-entry")
+
+    def test_legal_reentry_at_er_min(self, monitor):
+        monitor.observe(bundle(0xC000, next_pc=ER_MIN))
+        monitor.observe(bundle(ER_MIN))
+        assert monitor.exec_flag
+        assert not monitor.violated
+
+    def test_ltl3_interrupt_during_er_clears_exec(self, monitor):
+        monitor.observe(bundle(ER_MIN))
+        monitor.observe(bundle(ER_MIN + 4, next_pc=ER_MIN + 20, irq=True))
+        assert not monitor.exec_flag
+        assert monitor.violations_for("ltl3-interrupt")
+
+    def test_interrupt_outside_er_is_ignored(self, monitor):
+        monitor.observe(bundle(0xC000, irq=True))
+        assert not monitor.violations_for("ltl3-interrupt")
+
+    def test_exec_value_helper(self, monitor):
+        assert monitor.exec_value() == 0
+        monitor.observe(bundle(ER_MIN))
+        assert monitor.exec_value() == 1
+
+    def test_signal_values_exported(self, monitor):
+        monitor.observe(bundle(ER_MIN))
+        values = monitor.signal_values()
+        assert values["EXEC"] == 1
+        assert values["PC_in_ER"] == 1
+
+
+class TestApexMonitorMemoryRules:
+    def test_write_into_er_clears_exec(self, monitor, pox_config):
+        monitor.observe(bundle(ER_MIN))
+        monitor.observe(bundle(0xC000, writes=[pox_config.executable.region.start + 4]))
+        assert not monitor.exec_flag
+        assert monitor.violations_for("er-modified")
+
+    def test_dma_write_into_er_clears_exec(self, monitor, pox_config):
+        monitor.observe(bundle(ER_MIN))
+        monitor.observe(bundle(0xC000, dma_writes=[pox_config.executable.region.start]))
+        assert monitor.violations_for("er-modified")
+
+    def test_or_write_from_outside_er_clears_exec(self, monitor, pox_config):
+        monitor.observe(bundle(ER_MIN))
+        monitor.observe(bundle(0xC000, writes=[pox_config.output.region.start]))
+        assert monitor.violations_for("or-modified")
+
+    def test_or_write_from_inside_er_is_allowed(self, monitor, pox_config):
+        monitor.observe(bundle(ER_MIN))
+        monitor.observe(bundle(ER_MIN + 4, writes=[pox_config.output.region.start]))
+        assert monitor.exec_flag
+        assert not monitor.violated
+
+    def test_dma_write_into_or_always_clears_exec(self, monitor, pox_config):
+        monitor.observe(bundle(ER_MIN))
+        monitor.observe(bundle(ER_MIN + 4, dma_writes=[pox_config.output.region.start]))
+        assert monitor.violations_for("or-dma")
+
+    def test_metadata_write_clears_exec(self, monitor, pox_config):
+        monitor.observe(bundle(ER_MIN))
+        monitor.observe(bundle(0xC000, writes=[pox_config.metadata.region.start]))
+        assert monitor.violations_for("metadata-modified")
+
+    def test_dma_during_er_execution_clears_exec(self, monitor, pox_config):
+        monitor.observe(bundle(ER_MIN))
+        monitor.observe(bundle(ER_MIN + 4, dma_writes=[0x0800]))
+        assert monitor.violations_for("dma-during-er")
+
+    def test_reset_restores_monitor(self, monitor):
+        monitor.observe(bundle(ER_MIN))
+        monitor.observe(bundle(ER_MIN + 4, next_pc=0xC000))
+        assert monitor.violated
+        monitor.reset()
+        assert not monitor.violated and not monitor.exec_flag
+
+    def test_first_violation_ordering(self, monitor, pox_config):
+        monitor.observe(bundle(ER_MIN))
+        monitor.observe(bundle(0xC000, writes=[pox_config.executable.region.start],
+                               cycle=7))
+        first = monitor.first_violation()
+        assert first is not None and first.rule == "er-modified"
+
+
+class TestPoxVerifierPlumbing:
+    def test_unknown_device_rejected(self):
+        verifier = PoxVerifier()
+        from repro.vrased.swatt import AttestationReport
+        report = AttestationReport(device_id="ghost", challenge=b"\x00" * 32,
+                                   measurement=b"\x00" * 32)
+        result = verifier.verify(report)
+        assert not result.accepted
+        assert "unknown device" in result.reason
+
+    def test_missing_output_snapshot_rejected(self, pox_config):
+        verifier = PoxVerifier()
+        verifier.enroll("dev")
+        verifier.register_deployment("dev", pox_config, b"\x00" * pox_config.executable.region.size)
+        from repro.vrased.swatt import AttestationReport
+        report = AttestationReport(device_id="dev", challenge=b"\x00" * 32,
+                                   measurement=b"\x00" * 32, claims={"EXEC": 1})
+        result = verifier.verify(report)
+        assert not result.accepted
+        assert "output" in result.reason
+
+    def test_expected_metadata_layout(self, pox_config):
+        verifier = PoxVerifier()
+        verifier.enroll("dev")
+        verifier.register_deployment("dev", pox_config, b"\x00" * pox_config.executable.region.size)
+        challenge = bytes(range(32))
+        metadata = verifier.expected_metadata("dev", challenge)
+        assert metadata[:32] == challenge
+        assert len(metadata) == 40

@@ -1,0 +1,149 @@
+"""Unit tests for the from-scratch crypto primitives (vs. hashlib/hmac)."""
+
+import hashlib
+import hmac as std_hmac
+
+import pytest
+
+from repro.crypto.hmac import Hmac, hmac_sha256, verify_hmac
+from repro.crypto.keys import (
+    DeviceKey,
+    KeyStore,
+    constant_time_compare,
+    derive_key,
+)
+from repro.crypto.sha256 import Sha256, sha256
+
+
+class TestSha256:
+    KNOWN_VECTORS = [
+        (b"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"),
+        (b"abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"),
+        (
+            b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+        ),
+    ]
+
+    @pytest.mark.parametrize("message,expected", KNOWN_VECTORS)
+    def test_fips_vectors(self, message, expected):
+        assert Sha256(message).hexdigest() == expected
+
+    @pytest.mark.parametrize("length", [0, 1, 55, 56, 63, 64, 65, 127, 128, 1000])
+    def test_matches_hashlib_at_padding_boundaries(self, length):
+        message = bytes(range(256)) * 4
+        message = message[:length]
+        assert sha256(message) == hashlib.sha256(message).digest()
+
+    def test_incremental_update_equals_one_shot(self):
+        hasher = Sha256()
+        hasher.update(b"hello ")
+        hasher.update(b"world")
+        assert hasher.digest() == sha256(b"hello world")
+
+    def test_digest_does_not_consume_state(self):
+        hasher = Sha256(b"abc")
+        first = hasher.digest()
+        second = hasher.digest()
+        assert first == second
+        hasher.update(b"def")
+        assert hasher.digest() == hashlib.sha256(b"abcdef").digest()
+
+    def test_copy_is_independent(self):
+        hasher = Sha256(b"abc")
+        clone = hasher.copy()
+        clone.update(b"def")
+        assert hasher.digest() == hashlib.sha256(b"abc").digest()
+        assert clone.digest() == hashlib.sha256(b"abcdef").digest()
+
+    def test_digest_size(self):
+        assert len(sha256(b"x")) == 32
+
+
+class TestHmac:
+    def test_rfc4231_test_case_1(self):
+        key = b"\x0b" * 20
+        data = b"Hi There"
+        expected = (
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        )
+        assert Hmac(key, data).hexdigest() == expected
+
+    def test_rfc4231_test_case_2(self):
+        key = b"Jefe"
+        data = b"what do ya want for nothing?"
+        expected = (
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        )
+        assert hmac_sha256(key, data).hex() == expected
+
+    @pytest.mark.parametrize("key_length", [0, 1, 32, 63, 64, 65, 200])
+    def test_matches_stdlib_for_various_key_lengths(self, key_length):
+        key = bytes(range(256))[:key_length]
+        data = b"attested memory contents" * 7
+        assert hmac_sha256(key, data) == std_hmac.new(key, data, hashlib.sha256).digest()
+
+    def test_incremental_update(self):
+        mac = Hmac(b"key")
+        mac.update(b"part one ")
+        mac.update(b"part two")
+        assert mac.digest() == hmac_sha256(b"key", b"part one part two")
+
+    def test_copy(self):
+        mac = Hmac(b"key", b"abc")
+        clone = mac.copy()
+        clone.update(b"def")
+        assert mac.digest() == hmac_sha256(b"key", b"abc")
+        assert clone.digest() == hmac_sha256(b"key", b"abcdef")
+
+    def test_verify_hmac_accepts_valid_tag(self):
+        tag = hmac_sha256(b"key", b"message")
+        assert verify_hmac(b"key", b"message", tag)
+
+    def test_verify_hmac_rejects_tampering(self):
+        tag = bytearray(hmac_sha256(b"key", b"message"))
+        tag[0] ^= 1
+        assert not verify_hmac(b"key", b"message", bytes(tag))
+        assert not verify_hmac(b"key", b"message", b"short")
+
+
+class TestKeys:
+    def test_constant_time_compare(self):
+        assert constant_time_compare(b"abc", b"abc")
+        assert not constant_time_compare(b"abc", b"abd")
+        assert not constant_time_compare(b"abc", b"abcd")
+
+    def test_derive_key_is_deterministic_and_label_separated(self):
+        master = b"\x11" * 32
+        a = derive_key(master, "attestation")
+        b = derive_key(master, "attestation")
+        c = derive_key(master, "request-auth")
+        assert a == b
+        assert a != c
+        assert len(a) == 32
+
+    def test_derive_key_arbitrary_length(self):
+        master = b"\x22" * 32
+        assert len(derive_key(master, "x", length=80)) == 80
+
+    def test_device_key_subkeys_differ(self):
+        key = DeviceKey("dev", b"\x33" * 32)
+        assert key.attestation_key() != key.authentication_key()
+
+    def test_keystore_provision_and_lookup(self):
+        store = KeyStore()
+        key = store.provision("device-1")
+        assert store.has_device("device-1")
+        assert store.get("device-1") is key
+        assert len(key.master_key) == 32
+
+    def test_keystore_explicit_key(self):
+        store = KeyStore()
+        key = store.provision("device-2", master_key=b"\x44" * 32)
+        assert key.master_key == b"\x44" * 32
+
+    def test_keystore_unknown_device(self):
+        store = KeyStore()
+        with pytest.raises(KeyError):
+            store.get("missing")
+        assert store.device_ids() == []

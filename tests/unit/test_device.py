@@ -1,0 +1,200 @@
+"""Unit tests for the device composition and trace recording."""
+
+from repro.device.mcu import Device, DeviceConfig
+from repro.device.trace import TraceRecorder, Waveform
+from repro.cpu.signals import SignalBundle
+from repro.isa.assembler import Assembler
+from repro.peripherals.registers import InterruptVectors, PeripheralRegisters
+
+
+def load_program(device, source, base=0xE000, reset=True):
+    image = Assembler().assemble(
+        ".section .text\n" + source, section_addresses={".text": base}
+    )
+    image.write_to(device.memory)
+    device.ivt.set_reset_vector(base)
+    if reset:
+        device.reset()
+    return image
+
+
+class TestDeviceBasics:
+    def test_reset_loads_pc_from_reset_vector(self, device):
+        load_program(device, "NOP\n")
+        assert device.cpu.pc == 0xE000
+
+    def test_stack_pointer_initialised(self, device):
+        load_program(device, "NOP\n")
+        assert device.cpu.sp == (device.layout.data.end + 1) & 0xFFFE
+
+    def test_step_advances_cpu(self, device):
+        load_program(device, "MOV #5, R6\nNOP\n")
+        device.step()
+        assert device.cpu.registers[6] == 5
+
+    def test_run_until_pc(self, device):
+        load_program(device, "MOV #5, R6\nMOV #6, R7\ndone:\nJMP done\n")
+        reached = device.run_until_pc(0xE000 + 8, max_steps=50)
+        assert reached
+        assert device.cpu.registers[7] == 6
+
+    def test_run_with_stop_condition(self, device):
+        load_program(device, "loop:\nINC R6\nJMP loop\n")
+        steps = device.run(
+            max_steps=100,
+            stop_condition=lambda bundle, dev: dev.cpu.registers[6] >= 5,
+        )
+        assert steps < 100
+        assert device.cpu.registers[6] == 5
+
+    def test_total_cycles_accumulate(self, device):
+        load_program(device, "NOP\nNOP\nNOP\ndone:\nJMP done\n")
+        device.run_steps(3)
+        assert device.total_cycles >= 3
+
+    def test_crash_is_latched_not_raised(self, device):
+        # Reset vector points at zeroed memory -> illegal instruction.
+        device.ivt.set_reset_vector(0xC000)
+        device.reset()
+        device.run_steps(3)
+        assert device.crashed
+        assert "illegal instruction" in device.crash_reason
+
+    def test_scheduled_event_fires(self, device):
+        load_program(device, "loop:\nNOP\nJMP loop\n")
+        fired = []
+        device.schedule(3, lambda dev: fired.append(dev.step_number))
+        device.run_steps(5)
+        assert fired == [3]
+
+    def test_monitor_receives_bundles(self, device):
+        load_program(device, "NOP\nNOP\ndone:\nJMP done\n")
+
+        class Recorder:
+            def __init__(self):
+                self.bundles = []
+
+            def observe(self, bundle):
+                self.bundles.append(bundle)
+
+        recorder = device.attach_monitor(Recorder())
+        device.run_steps(4)
+        assert len(recorder.bundles) == 4
+
+    def test_write_word_as_cpu_notifies_monitors(self, device):
+        load_program(device, "NOP\n")
+
+        class Recorder:
+            def __init__(self):
+                self.writes = []
+
+            def observe(self, bundle):
+                self.writes.extend(bundle.write_addresses)
+
+        recorder = device.attach_monitor(Recorder())
+        device.write_word_as_cpu(0x0600, 0x1234)
+        assert 0x0600 in recorder.writes
+        assert device.memory.peek_word(0x0600) == 0x1234
+
+
+class TestDeviceInterruptsEndToEnd:
+    def test_gpio_interrupt_dispatches_to_ivt_handler(self, device):
+        source = (
+            "EINT\n"
+            "loop:\n"
+            "NOP\n"
+            "JMP loop\n"
+            "isr:\n"
+            "MOV #1, R10\n"
+            "RETI\n"
+        )
+        image = load_program(device, source)
+        device.ivt.set_vector(InterruptVectors.PORT1, image.symbol("isr"))
+        device.memory.load_bytes(PeripheralRegisters.P1IE, bytes([0x01]))
+        device.schedule_button_press(3)
+        device.run_steps(12)
+        assert device.cpu.registers[10] == 1
+        assert device.interrupt_controller.serviced[InterruptVectors.PORT1] == 1
+
+    def test_uart_rx_event_scheduling(self, device):
+        load_program(device, "loop:\nNOP\nJMP loop\n")
+        device.schedule_uart_rx(2, b"\x7E")
+        device.run_steps(6)
+        assert device.memory.peek_byte(PeripheralRegisters.URXBUF) == 0x7E
+
+
+class TestTraceRecorder:
+    def make_bundle(self, cycle, pc, irq=False):
+        return SignalBundle(cycle=cycle, pc=pc, next_pc=pc + 2, irq=irq)
+
+    def test_record_and_series(self):
+        trace = TraceRecorder()
+        for index in range(5):
+            trace.record(self.make_bundle(index, 0xE000 + 2 * index), {"EXEC": 1})
+        assert len(trace) == 5
+        assert trace.series("PC")[0] == 0xE000
+        assert trace.series("EXEC") == [1] * 5
+
+    def test_disabled_recorder_still_counts_cycles(self):
+        trace = TraceRecorder(enabled=False)
+        trace.record(self.make_bundle(1, 0xE000))
+        assert len(trace) == 0
+        assert trace.total_cycles == 1
+
+    def test_steps_with_irq(self):
+        trace = TraceRecorder()
+        trace.record(self.make_bundle(1, 0xE000))
+        trace.record(self.make_bundle(2, 0xE002, irq=True))
+        assert len(trace.steps_with_irq()) == 1
+
+    def test_find_first(self):
+        trace = TraceRecorder()
+        trace.record(self.make_bundle(1, 0xE000))
+        trace.record(self.make_bundle(2, 0xE004))
+        entry = trace.find_first(lambda e: e.pc == 0xE004)
+        assert entry is not None and entry.step == 2
+
+    def test_clear(self):
+        trace = TraceRecorder()
+        trace.record(self.make_bundle(1, 0xE000))
+        trace.clear()
+        assert len(trace) == 0 and trace.total_cycles == 0
+
+
+class TestWaveform:
+    def build_trace(self):
+        trace = TraceRecorder()
+        for index in range(6):
+            bundle = SignalBundle(
+                cycle=index, pc=0xE000 + 2 * index, next_pc=0xE002 + 2 * index,
+                irq=(index == 3),
+            )
+            trace.record(bundle, {"EXEC": 0 if index >= 4 else 1})
+        return trace
+
+    def test_series_extraction(self):
+        waveform = self.build_trace().waveform(["EXEC", "irq", "PC"])
+        assert waveform.series("irq") == [0, 0, 0, 1, 0, 0]
+        assert waveform.series("EXEC") == [1, 1, 1, 1, 0, 0]
+
+    def test_transitions(self):
+        waveform = self.build_trace().waveform(["EXEC"])
+        assert waveform.transitions("EXEC") == [(4, 1, 0)]
+
+    def test_final_value(self):
+        waveform = self.build_trace().waveform(["EXEC"])
+        assert waveform.final_value("EXEC") == 0
+
+    def test_ascii_rendering(self):
+        text = self.build_trace().waveform(["EXEC", "irq", "PC"]).to_ascii()
+        assert "EXEC" in text and "irq" in text and "PC" in text
+
+    def test_rows(self):
+        rows = self.build_trace().waveform(["EXEC"]).to_rows()
+        assert len(rows) == 6
+        assert rows[0]["EXEC"] == 1
+
+    def test_empty_waveform(self):
+        waveform = TraceRecorder().waveform(["EXEC"])
+        assert waveform.final_value("EXEC") is None
+        assert waveform.to_ascii() == "(empty waveform)"

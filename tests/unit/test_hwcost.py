@@ -1,0 +1,127 @@
+"""Unit tests for the hardware-cost model."""
+
+import pytest
+
+from repro.hwcost.monitors import (
+    IRQ_CONSUMER_SUBMODULES,
+    apex_hwmod,
+    apex_irq_logic,
+    asap_hwmod,
+    asap_ivt_guard,
+    pox_core,
+    vrased_hwmod,
+)
+from repro.hwcost.netlist import (
+    Module,
+    aligned_region_decoder,
+    equality_comparator,
+    fsm_state,
+    logic_function,
+    magnitude_comparator,
+    range_checker,
+    register,
+)
+from repro.hwcost.report import compare_costs, figure6_comparison, synthesize_monitor
+
+
+class TestNetlistPrimitives:
+    def test_register_costs_only_flipflops(self):
+        component = register("state", width=16)
+        assert component.registers == 16
+        assert component.luts == 0
+
+    def test_logic_function_lut_packing(self):
+        assert logic_function("f1", inputs=1).luts == 0
+        assert logic_function("f4", inputs=4).luts == 1
+        assert logic_function("f7", inputs=7).luts == 2
+        assert logic_function("f10", inputs=10).luts == 3
+        assert logic_function("dual", inputs=4, outputs=2).luts == 2
+
+    def test_equality_vs_magnitude_vs_range(self):
+        equality = equality_comparator("eq", 16)
+        magnitude = magnitude_comparator("mag", 16)
+        ranged = range_checker("range", 16)
+        assert equality.luts < ranged.luts
+        assert ranged.luts == 2 * magnitude.luts + 1
+
+    def test_aligned_decoder_is_cheaper_than_range_check(self):
+        assert aligned_region_decoder("ivt", 11).luts < range_checker("r", 16).luts
+
+    def test_fsm_state_register_count(self):
+        assert fsm_state("fsm2", states=2, transition_inputs=3).registers == 1
+        assert fsm_state("fsm4", states=4, transition_inputs=3).registers == 2
+        assert fsm_state("fsm5", states=5, transition_inputs=3).registers == 3
+
+    def test_module_totals_and_breakdown(self):
+        module = Module("top")
+        module.add(register("r", 4))
+        module.add(logic_function("f", inputs=7))
+        child = Module("child")
+        child.add(register("c", 2))
+        module.add_module(child)
+        assert module.total_registers() == 6
+        assert module.total_luts() == 2
+        assert module.breakdown()["child"]["registers"] == 2
+        assert len(module.flatten_components()) == 3
+
+
+class TestMonitorModules:
+    def test_vrased_module_nonzero(self):
+        module = vrased_hwmod()
+        assert module.total_luts() > 0
+        assert module.total_registers() > 0
+
+    def test_pox_core_is_shared(self):
+        # The shared core is identical in both stacks (AP2 adds nothing).
+        assert pox_core().total_luts() == pox_core().total_luts()
+        assert pox_core().total_registers() == pox_core().total_registers()
+
+    def test_apex_irq_logic_covers_all_consumer_submodules(self):
+        module = apex_irq_logic()
+        gate_names = [component.name for component in module.components
+                      if component.name.startswith("irq_gate_")]
+        assert len(gate_names) == len(IRQ_CONSUMER_SUBMODULES)
+
+    def test_asap_guard_has_single_state_register(self):
+        module = asap_ivt_guard()
+        fsm = [component for component in module.components
+               if component.name == "ivt_guard_fsm"]
+        assert fsm and fsm[0].registers == 1
+
+    def test_full_stacks_include_vrased_and_core(self):
+        for build in (apex_hwmod, asap_hwmod):
+            names = {module.name for module in build().submodules}
+            assert "vrased_hwmod" in names and "pox_core" in names
+
+
+class TestFigure6Shape:
+    def test_asap_smaller_than_apex_in_luts_and_registers(self):
+        comparison = figure6_comparison()
+        assert comparison.candidate.name == "asap_hwmod"
+        assert comparison.lut_delta < 0
+        assert comparison.register_delta < 0
+
+    def test_delta_magnitude_close_to_paper(self):
+        comparison = figure6_comparison()
+        # Paper: ASAP uses 24 fewer LUTs and 3 fewer registers than APEX.
+        assert 10 <= -comparison.lut_delta <= 40
+        assert 1 <= -comparison.register_delta <= 6
+
+    def test_rows_and_render(self):
+        comparison = figure6_comparison()
+        rows = comparison.rows()
+        assert len(rows) == 3
+        assert rows[0]["module"] == "apex_hwmod"
+        text = comparison.render()
+        assert "apex_hwmod" in text and "asap_hwmod" in text
+
+    def test_synthesize_monitor_report(self):
+        report = synthesize_monitor(asap_ivt_guard())
+        assert report.luts == asap_ivt_guard().total_luts()
+        assert "ivt_guard_fsm" in report.breakdown
+        assert report.as_row()["module"] == "asap_ivt_guard"
+
+    def test_compare_costs_generic(self):
+        comparison = compare_costs(pox_core(), pox_core())
+        assert comparison.lut_delta == 0
+        assert comparison.register_delta == 0

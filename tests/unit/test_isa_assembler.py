@@ -1,0 +1,263 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa.assembler import Assembler, AssemblyError
+from repro.isa.encoding import decode_instruction
+from repro.isa.instructions import AddressingMode, Opcode
+
+
+@pytest.fixture
+def assembler():
+    return Assembler()
+
+
+def assemble_single(assembler, statement, base=0xE000):
+    """Assemble one statement in a .text section at *base*."""
+    image = assembler.assemble(
+        ".section .text\n%s\n" % statement, section_addresses={".text": base}
+    )
+    section = image.section(".text")
+    words = [
+        section.data[index] | (section.data[index + 1] << 8)
+        for index in range(0, len(section.data), 2)
+    ]
+    instruction, _ = decode_instruction(words)
+    return instruction
+
+
+class TestBasicAssembly:
+    def test_mov_immediate_to_register(self, assembler):
+        instruction = assemble_single(assembler, "MOV #0x1234, R5")
+        assert instruction.opcode is Opcode.MOV
+        assert instruction.src.mode is AddressingMode.IMMEDIATE
+        assert instruction.src.value == 0x1234
+        assert instruction.dst.register == 5
+
+    def test_byte_mode(self, assembler):
+        instruction = assemble_single(assembler, "MOV.B #0x12, R5")
+        assert instruction.byte_mode
+
+    def test_absolute_operands(self, assembler):
+        instruction = assemble_single(assembler, "MOV &0x0200, &0x0202")
+        assert instruction.src.mode is AddressingMode.ABSOLUTE
+        assert instruction.dst.mode is AddressingMode.ABSOLUTE
+
+    def test_indexed_operand(self, assembler):
+        instruction = assemble_single(assembler, "MOV 4(R10), R5")
+        assert instruction.src.mode is AddressingMode.INDEXED
+        assert instruction.src.register == 10
+        assert instruction.src.value == 4
+
+    def test_indirect_autoincrement(self, assembler):
+        instruction = assemble_single(assembler, "MOV @R6+, R5")
+        assert instruction.src.mode is AddressingMode.AUTOINCREMENT
+
+    def test_single_operand_instruction(self, assembler):
+        instruction = assemble_single(assembler, "PUSH R11")
+        assert instruction.opcode is Opcode.PUSH
+
+    def test_comments_are_ignored(self, assembler):
+        instruction = assemble_single(assembler, "NOP ; this is a comment")
+        assert instruction.opcode is Opcode.MOV
+
+
+class TestEmulatedInstructions:
+    def test_nop(self, assembler):
+        instruction = assemble_single(assembler, "NOP")
+        assert instruction.opcode is Opcode.MOV
+        assert instruction.dst.register == 3
+
+    def test_ret(self, assembler):
+        instruction = assemble_single(assembler, "RET")
+        assert instruction.opcode is Opcode.MOV
+        assert instruction.src.mode is AddressingMode.AUTOINCREMENT
+        assert instruction.dst.register == 0
+
+    def test_dint_eint(self, assembler):
+        dint = assemble_single(assembler, "DINT")
+        eint = assemble_single(assembler, "EINT")
+        assert dint.opcode is Opcode.BIC
+        assert eint.opcode is Opcode.BIS
+        assert dint.src.value == 8
+
+    def test_inc_dec_tst_clr(self, assembler):
+        assert assemble_single(assembler, "INC R6").opcode is Opcode.ADD
+        assert assemble_single(assembler, "DEC R6").opcode is Opcode.SUB
+        assert assemble_single(assembler, "TST R6").opcode is Opcode.CMP
+        assert assemble_single(assembler, "CLR R6").opcode is Opcode.MOV
+
+    def test_pop(self, assembler):
+        instruction = assemble_single(assembler, "POP R7")
+        assert instruction.opcode is Opcode.MOV
+        assert instruction.src.mode is AddressingMode.AUTOINCREMENT
+        assert instruction.dst.register == 7
+
+    def test_br(self, assembler):
+        instruction = assemble_single(assembler, "BR #0xE100")
+        assert instruction.opcode is Opcode.MOV
+        assert instruction.dst.register == 0
+
+
+class TestLabelsAndJumps:
+    SOURCE = """
+    .section .text
+start:
+    MOV #0, R6
+loop:
+    INC R6
+    CMP #10, R6
+    JNE loop
+    JMP start
+"""
+
+    def test_labels_resolve(self, assembler):
+        image = assembler.assemble(self.SOURCE, section_addresses={".text": 0xE000})
+        assert image.symbol("start") == 0xE000
+        assert image.symbol("loop") == 0xE002
+
+    def test_backward_jump_encodes_negative_offset(self, assembler):
+        image = assembler.assemble(self.SOURCE, section_addresses={".text": 0xE000})
+        section = image.section(".text")
+        # JNE follows MOV(2) + INC(2) + CMP #10 (4, immediate needs an
+        # extension word) = offset 8.
+        word = section.data[8] | (section.data[9] << 8)
+        instruction, _ = decode_instruction([word])
+        assert instruction.opcode is Opcode.JNE
+        assert instruction.jump_offset < 0
+
+    def test_duplicate_label_rejected(self, assembler):
+        source = ".section .text\nfoo:\nNOP\nfoo:\nNOP\n"
+        with pytest.raises(AssemblyError):
+            assembler.assemble(source, section_addresses={".text": 0xE000})
+
+    def test_undefined_symbol_rejected(self, assembler):
+        source = ".section .text\nJMP nowhere\n"
+        with pytest.raises(AssemblyError):
+            assembler.assemble(source, section_addresses={".text": 0xE000})
+
+    def test_jump_out_of_range_rejected(self, assembler):
+        source = ".section .text\nJMP far\n.space 2000\nfar:\nNOP\n"
+        with pytest.raises(AssemblyError):
+            assembler.assemble(source, section_addresses={".text": 0xE000})
+
+
+class TestDirectives:
+    def test_word_and_byte(self, assembler):
+        source = """
+    .section .data at 0x0400
+values:
+    .word 0x1234, 0x5678
+    .byte 0xAA, 0xBB
+"""
+        image = assembler.assemble(source)
+        section = image.section(".data")
+        assert section.base == 0x0400
+        assert bytes(section.data) == b"\x34\x12\x78\x56\xAA\xBB"
+
+    def test_ascii(self, assembler):
+        source = '.section .data at 0x0400\n.ascii "HI"\n'
+        image = assembler.assemble(source)
+        assert bytes(image.section(".data").data) == b"HI"
+
+    def test_space(self, assembler):
+        source = ".section .data at 0x0400\n.space 8\nafter:\n.word 1\n"
+        image = assembler.assemble(source)
+        assert image.symbol("after") == 0x0408
+
+    def test_equ_constants(self, assembler):
+        source = """
+    .equ LED_PIN, 0x10
+    .section .text
+    MOV #LED_PIN, R5
+"""
+        image = assembler.assemble(source, section_addresses={".text": 0xE000})
+        section = image.section(".text")
+        words = [section.data[0] | (section.data[1] << 8),
+                 section.data[2] | (section.data[3] << 8)]
+        instruction, _ = decode_instruction(words)
+        assert instruction.src.value == 0x10
+
+    def test_org_anchors_section(self, assembler):
+        source = ".section .text\n.org 0xF000\nentry:\nNOP\n"
+        image = assembler.assemble(source)
+        assert image.symbol("entry") == 0xF000
+
+    def test_unknown_directive_rejected(self, assembler):
+        with pytest.raises(AssemblyError):
+            assembler.assemble(".bogus 1\n", section_addresses={".text": 0xE000})
+
+
+class TestSections:
+    MULTI = """
+    .section exec.start
+entry:
+    NOP
+    .section exec.body
+body:
+    NOP
+    NOP
+    .section .text
+main:
+    NOP
+"""
+
+    def test_measure_sections(self, assembler):
+        sizes = assembler.measure_sections(self.MULTI)
+        assert sizes == {"exec.start": 2, "exec.body": 4, ".text": 2}
+
+    def test_unplaced_section_rejected(self, assembler):
+        with pytest.raises(AssemblyError):
+            assembler.assemble(self.MULTI, section_addresses={"exec.start": 0xE000})
+
+    def test_overlapping_sections_rejected(self, assembler):
+        with pytest.raises(AssemblyError):
+            assembler.assemble(
+                self.MULTI,
+                section_addresses={
+                    "exec.start": 0xE000,
+                    "exec.body": 0xE000,
+                    ".text": 0xF000,
+                },
+            )
+
+    def test_flatten_and_total_size(self, assembler):
+        image = assembler.assemble(
+            self.MULTI,
+            section_addresses={
+                "exec.start": 0xE000, "exec.body": 0xE010, ".text": 0xF000,
+            },
+        )
+        assert image.total_size() == 8
+        addresses = [address for address, _ in image.flatten()]
+        assert 0xE000 in addresses and 0xF000 in addresses
+
+    def test_write_to_memory(self, assembler, memory):
+        image = assembler.assemble(
+            ".section .text\nMOV #0x1234, R5\n", section_addresses={".text": 0xE000}
+        )
+        image.write_to(memory)
+        assert memory.peek_word(0xE002) == 0x1234
+
+    def test_section_lookup_missing(self, assembler):
+        image = assembler.assemble(
+            ".section .text\nNOP\n", section_addresses={".text": 0xE000}
+        )
+        with pytest.raises(KeyError):
+            image.section(".data")
+
+
+class TestSizingConsistency:
+    def test_symbolic_immediate_size_is_stable(self, assembler):
+        # A symbol whose value would fit the constant generator must still
+        # be encoded with an extension word (sizes must match across passes).
+        source = """
+    .equ ONE, 1
+    .section .text
+    MOV #ONE, R5
+    MOV #label, R6
+label:
+    NOP
+"""
+        image = assembler.assemble(source, section_addresses={".text": 0xE000})
+        assert image.symbol("label") == 0xE008

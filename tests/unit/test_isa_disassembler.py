@@ -1,0 +1,51 @@
+"""Unit tests for the disassembler."""
+
+from repro.isa.assembler import Assembler
+from repro.isa.disassembler import disassemble_range, disassemble_word
+from repro.isa.encoding import encode_instruction
+from repro.isa.instructions import Instruction, Opcode, Operand
+from repro.memory.memory import Memory
+
+
+class TestDisassembleWord:
+    def test_simple_instruction(self):
+        words = encode_instruction(
+            Instruction(Opcode.MOV, src=Operand.reg(4), dst=Operand.reg(5))
+        )
+        text, consumed = disassemble_word(list(words))
+        assert text == "MOV R4, R5"
+        assert consumed == 1
+
+    def test_instruction_with_extension(self):
+        words = encode_instruction(
+            Instruction(Opcode.MOV, src=Operand.imm(0x1234), dst=Operand.reg(5))
+        )
+        text, consumed = disassemble_word(list(words))
+        assert "0x1234" in text
+        assert consumed == 2
+
+    def test_undecodable_word_renders_as_data(self):
+        text, consumed = disassemble_word([0x0000])
+        assert text == ".word 0x0000"
+        assert consumed == 1
+
+
+class TestDisassembleRange:
+    def test_round_trip_through_memory(self):
+        source = """
+    .section .text
+    MOV #0x1234, R5
+    INC R5
+    JMP 0xE000
+"""
+        image = Assembler().assemble(source, section_addresses={".text": 0xE000})
+        memory = Memory()
+        image.write_to(memory)
+        listing = disassemble_range(memory, 0xE000, 0xE000 + image.total_size())
+        assert listing[0][0] == 0xE000
+        assert "MOV" in listing[0][1]
+        assert any("ADD" in text for _, text in listing)  # INC expands to ADD
+        assert len(listing) == 3
+
+    def test_empty_range(self):
+        assert disassemble_range(Memory(), 0xE000, 0xE000) == []

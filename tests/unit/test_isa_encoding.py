@@ -1,0 +1,148 @@
+"""Unit tests for the binary instruction encoder/decoder."""
+
+import pytest
+
+from repro.isa.encoding import DecodeError, decode_instruction, encode_instruction
+from repro.isa.instructions import AddressingMode, Instruction, Opcode, Operand
+
+
+def roundtrip(instruction):
+    words = encode_instruction(instruction)
+    decoded, consumed = decode_instruction(words)
+    assert consumed == len(words)
+    return decoded
+
+
+class TestFormatIEncoding:
+    def test_mov_register_register(self):
+        instruction = Instruction(Opcode.MOV, src=Operand.reg(4), dst=Operand.reg(5))
+        words = encode_instruction(instruction)
+        assert words == (0x4405,)
+
+    def test_add_immediate_register_has_extension(self):
+        instruction = Instruction(Opcode.ADD, src=Operand.imm(0x1234), dst=Operand.reg(6))
+        words = encode_instruction(instruction)
+        assert len(words) == 2
+        assert words[1] == 0x1234
+
+    def test_constant_generator_has_no_extension(self):
+        instruction = Instruction(Opcode.ADD, src=Operand.imm(1), dst=Operand.reg(6))
+        assert len(encode_instruction(instruction)) == 1
+
+    def test_absolute_destination(self):
+        instruction = Instruction(
+            Opcode.MOV, src=Operand.reg(7), dst=Operand.absolute(0x0200)
+        )
+        words = encode_instruction(instruction)
+        assert len(words) == 2
+        assert words[1] == 0x0200
+
+    def test_byte_mode_bit(self):
+        word_form = Instruction(Opcode.MOV, src=Operand.reg(4), dst=Operand.reg(5))
+        byte_form = Instruction(
+            Opcode.MOV, src=Operand.reg(4), dst=Operand.reg(5), byte_mode=True
+        )
+        assert encode_instruction(byte_form)[0] == encode_instruction(word_form)[0] | 0x40
+
+
+class TestFormatIIEncoding:
+    def test_push_register(self):
+        words = encode_instruction(Instruction(Opcode.PUSH, src=Operand.reg(10)))
+        assert words == (0x120A,)
+
+    def test_call_immediate(self):
+        words = encode_instruction(Instruction(Opcode.CALL, src=Operand.imm(0xE000)))
+        assert words[0] == 0x12B0
+        assert words[1] == 0xE000
+
+    def test_reti(self):
+        assert encode_instruction(Instruction(Opcode.RETI)) == (0x1300,)
+
+
+class TestJumpEncoding:
+    def test_jmp_forward(self):
+        words = encode_instruction(Instruction(Opcode.JMP, jump_offset=4))
+        assert words == (0x3C02,)
+
+    def test_jne_backward(self):
+        words = encode_instruction(Instruction(Opcode.JNE, jump_offset=-6))
+        decoded, _ = decode_instruction(words)
+        assert decoded.opcode is Opcode.JNE
+        assert decoded.jump_offset == -6
+
+    def test_jump_offset_extremes(self):
+        for offset in (-1024, 1022, 0):
+            decoded = roundtrip(Instruction(Opcode.JMP, jump_offset=offset))
+            assert decoded.jump_offset == offset
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("opcode", [
+        Opcode.MOV, Opcode.ADD, Opcode.ADDC, Opcode.SUBC, Opcode.SUB, Opcode.CMP,
+        Opcode.DADD, Opcode.BIT, Opcode.BIC, Opcode.BIS, Opcode.XOR, Opcode.AND,
+    ])
+    def test_every_format_i_opcode(self, opcode):
+        instruction = Instruction(opcode, src=Operand.reg(4), dst=Operand.reg(5))
+        decoded = roundtrip(instruction)
+        assert decoded.opcode is opcode
+
+    @pytest.mark.parametrize("opcode", [
+        Opcode.RRC, Opcode.SWPB, Opcode.RRA, Opcode.SXT, Opcode.PUSH, Opcode.CALL,
+    ])
+    def test_every_format_ii_opcode(self, opcode):
+        instruction = Instruction(opcode, src=Operand.reg(9))
+        decoded = roundtrip(instruction)
+        assert decoded.opcode is opcode
+
+    @pytest.mark.parametrize("opcode", [
+        Opcode.JNE, Opcode.JEQ, Opcode.JNC, Opcode.JC, Opcode.JN, Opcode.JGE,
+        Opcode.JL, Opcode.JMP,
+    ])
+    def test_every_jump_opcode(self, opcode):
+        decoded = roundtrip(Instruction(opcode, jump_offset=8))
+        assert decoded.opcode is opcode
+        assert decoded.jump_offset == 8
+
+    def test_indexed_source_and_destination(self):
+        instruction = Instruction(
+            Opcode.MOV, src=Operand.indexed(4, 10), dst=Operand.indexed(5, 20)
+        )
+        decoded = roundtrip(instruction)
+        assert decoded.src.mode is AddressingMode.INDEXED
+        assert decoded.src.value == 10
+        assert decoded.dst.mode is AddressingMode.INDEXED
+        assert decoded.dst.value == 20
+
+    def test_autoincrement_source(self):
+        instruction = Instruction(
+            Opcode.MOV, src=Operand.indirect(1, autoincrement=True), dst=Operand.reg(0)
+        )
+        decoded = roundtrip(instruction)
+        assert decoded.src.mode is AddressingMode.AUTOINCREMENT
+        assert decoded.src.register == 1
+
+    def test_constant_values_roundtrip(self):
+        for value in (0, 1, 2, 4, 8, 0xFFFF):
+            instruction = Instruction(Opcode.ADD, src=Operand.imm(value), dst=Operand.reg(6))
+            decoded = roundtrip(instruction)
+            assert decoded.src.mode is AddressingMode.CONSTANT
+            assert decoded.src.value == value
+
+
+class TestDecodeErrors:
+    def test_empty_sequence(self):
+        with pytest.raises(DecodeError):
+            decode_instruction([])
+
+    def test_invalid_opcode_word(self):
+        with pytest.raises(DecodeError):
+            decode_instruction([0x0000])
+
+    def test_missing_extension_word(self):
+        # MOV #imm, R5 requires an extension word that is not provided.
+        with pytest.raises(DecodeError):
+            decode_instruction([0x4035])
+
+    def test_invalid_format_ii_opcode(self):
+        with pytest.raises(DecodeError):
+            decode_instruction([0x1380])

@@ -1,0 +1,177 @@
+"""Unit tests for instruction and operand data types."""
+
+import pytest
+
+from repro.isa.instructions import (
+    AddressingMode,
+    CONSTANT_GENERATOR_ENCODINGS,
+    Instruction,
+    InstructionFormat,
+    Opcode,
+    Operand,
+)
+
+
+class TestOperandConstructors:
+    def test_register_shorthand(self):
+        operand = Operand.reg(5)
+        assert operand.mode is AddressingMode.REGISTER
+        assert operand.register == 5
+
+    def test_immediate_uses_constant_generator(self):
+        for value in (0, 1, 2, 4, 8, 0xFFFF):
+            assert Operand.imm(value).mode is AddressingMode.CONSTANT
+
+    def test_immediate_general_value(self):
+        operand = Operand.imm(0x1234)
+        assert operand.mode is AddressingMode.IMMEDIATE
+        assert operand.value == 0x1234
+
+    def test_immediate_negative_one_is_constant(self):
+        assert Operand.imm(-1).mode is AddressingMode.CONSTANT
+
+    def test_absolute(self):
+        operand = Operand.absolute(0x0200)
+        assert operand.mode is AddressingMode.ABSOLUTE
+        assert operand.value == 0x0200
+
+    def test_indexed(self):
+        operand = Operand.indexed(4, 6)
+        assert operand.mode is AddressingMode.INDEXED
+        assert operand.register == 4
+        assert operand.value == 6
+
+    def test_indirect_and_autoincrement(self):
+        assert Operand.indirect(5).mode is AddressingMode.INDIRECT
+        assert Operand.indirect(5, autoincrement=True).mode is AddressingMode.AUTOINCREMENT
+
+
+class TestOperandExtensionWords:
+    def test_register_has_no_extension(self):
+        assert not Operand.reg(4).needs_extension_word()
+        assert not Operand.imm(1).needs_extension_word()
+        assert not Operand.indirect(4).needs_extension_word()
+
+    def test_memory_modes_need_extension(self):
+        assert Operand.imm(0x1234).needs_extension_word()
+        assert Operand.absolute(0x200).needs_extension_word()
+        assert Operand.indexed(4, 2).needs_extension_word()
+
+
+class TestOperandRendering:
+    def test_render_register(self):
+        assert Operand.reg(0).render() == "PC"
+        assert Operand.reg(9).render() == "R9"
+
+    def test_render_immediate_and_constant(self):
+        assert Operand.imm(0x1234).render() == "#0x1234"
+        assert Operand.imm(1).render() == "#1"
+        assert Operand.imm(-1).render() == "#-1"
+
+    def test_render_memory_modes(self):
+        assert Operand.absolute(0x200).render() == "&0x0200"
+        assert Operand.indexed(4, 6).render() == "6(R4)"
+        assert Operand.indirect(5).render() == "@R5"
+        assert Operand.indirect(5, True).render() == "@R5+"
+
+
+class TestConstantGenerator:
+    def test_all_six_constants_encoded(self):
+        assert set(CONSTANT_GENERATOR_ENCODINGS) == {0, 1, 2, 4, 8, 0xFFFF}
+
+    def test_encodings_use_r2_r3(self):
+        for register, _as_bits in CONSTANT_GENERATOR_ENCODINGS.values():
+            assert register in (2, 3)
+
+
+class TestInstructionValidation:
+    def test_double_operand_requires_both(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.MOV, src=Operand.reg(4))
+
+    def test_single_operand_requires_src(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.PUSH)
+
+    def test_reti_needs_no_operand(self):
+        assert Instruction(Opcode.RETI).format is InstructionFormat.SINGLE_OPERAND
+
+    def test_jump_offset_must_be_even(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.JMP, jump_offset=3)
+
+    def test_jump_offset_range(self):
+        Instruction(Opcode.JMP, jump_offset=-1024)
+        Instruction(Opcode.JMP, jump_offset=1022)
+        with pytest.raises(ValueError):
+            Instruction(Opcode.JMP, jump_offset=1024)
+        with pytest.raises(ValueError):
+            Instruction(Opcode.JMP, jump_offset=-1026)
+
+
+class TestInstructionSizes:
+    def test_register_to_register_is_one_word(self):
+        instruction = Instruction(Opcode.MOV, src=Operand.reg(4), dst=Operand.reg(5))
+        assert instruction.size_words() == 1
+        assert instruction.size_bytes() == 2
+
+    def test_immediate_to_absolute_is_three_words(self):
+        instruction = Instruction(
+            Opcode.MOV, src=Operand.imm(0x1234), dst=Operand.absolute(0x0200)
+        )
+        assert instruction.size_words() == 3
+
+    def test_constant_to_register_is_one_word(self):
+        instruction = Instruction(Opcode.ADD, src=Operand.imm(1), dst=Operand.reg(6))
+        assert instruction.size_words() == 1
+
+    def test_jump_is_one_word(self):
+        assert Instruction(Opcode.JNE, jump_offset=-4).size_words() == 1
+
+
+class TestInstructionCycles:
+    def test_register_mov_is_cheap(self):
+        instruction = Instruction(Opcode.MOV, src=Operand.reg(4), dst=Operand.reg(5))
+        assert instruction.cycles() == 1
+
+    def test_memory_destination_costs_more(self):
+        register_form = Instruction(Opcode.MOV, src=Operand.reg(4), dst=Operand.reg(5))
+        memory_form = Instruction(
+            Opcode.MOV, src=Operand.reg(4), dst=Operand.absolute(0x0200)
+        )
+        assert memory_form.cycles() > register_form.cycles()
+
+    def test_jump_costs_two(self):
+        assert Instruction(Opcode.JMP, jump_offset=0).cycles() == 2
+
+    def test_reti_costs_five(self):
+        assert Instruction(Opcode.RETI).cycles() == 5
+
+    def test_all_opcodes_have_positive_cycles(self):
+        samples = [
+            Instruction(Opcode.PUSH, src=Operand.reg(4)),
+            Instruction(Opcode.CALL, src=Operand.imm(0xE000)),
+            Instruction(Opcode.SWPB, src=Operand.reg(4)),
+            Instruction(Opcode.ADD, src=Operand.imm(1), dst=Operand.absolute(0x0200)),
+        ]
+        for instruction in samples:
+            assert instruction.cycles() >= 1
+
+
+class TestInstructionRendering:
+    def test_double_operand(self):
+        instruction = Instruction(Opcode.MOV, src=Operand.imm(5), dst=Operand.reg(4))
+        assert instruction.render() == "MOV #0x5, R4"
+
+    def test_byte_mode_suffix(self):
+        instruction = Instruction(
+            Opcode.MOV, src=Operand.reg(4), dst=Operand.reg(5), byte_mode=True
+        )
+        assert instruction.render().startswith("MOV.B")
+
+    def test_jump_rendering(self):
+        assert Instruction(Opcode.JNE, jump_offset=-6).render() == "JNE -6"
+        assert Instruction(Opcode.JMP, jump_offset=4).render() == "JMP +4"
+
+    def test_reti_rendering(self):
+        assert Instruction(Opcode.RETI).render() == "RETI"

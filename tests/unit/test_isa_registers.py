@@ -1,0 +1,89 @@
+"""Unit tests for register naming and status flags."""
+
+import pytest
+
+from repro.isa.registers import (
+    CG,
+    PC,
+    REGISTER_NAMES,
+    SP,
+    SR,
+    StatusFlag,
+    is_register_name,
+    register_name,
+    register_number,
+)
+
+
+class TestRegisterNumbers:
+    def test_architectural_aliases(self):
+        assert register_number("PC") == PC == 0
+        assert register_number("SP") == SP == 1
+        assert register_number("SR") == SR == 2
+        assert register_number("CG") == CG == 3
+
+    def test_rn_form(self):
+        for number in range(16):
+            assert register_number("R%d" % number) == number
+
+    def test_case_insensitive(self):
+        assert register_number("r12") == 12
+        assert register_number("pc") == 0
+        assert register_number("  Sp ") == 1
+
+    def test_unknown_register_raises(self):
+        with pytest.raises(ValueError):
+            register_number("R16")
+        with pytest.raises(ValueError):
+            register_number("bogus")
+
+
+class TestRegisterNames:
+    def test_round_trip(self):
+        for number in range(16):
+            assert register_number(register_name(number)) == number
+
+    def test_general_purpose_names(self):
+        assert register_name(4) == "R4"
+        assert register_name(15) == "R15"
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            register_name(16)
+        with pytest.raises(ValueError):
+            register_name(-1)
+
+    def test_names_table_length(self):
+        assert len(REGISTER_NAMES) == 16
+
+
+class TestIsRegisterName:
+    def test_positive(self):
+        assert is_register_name("R7")
+        assert is_register_name("sr")
+
+    def test_negative(self):
+        assert not is_register_name("loop")
+        assert not is_register_name("#5")
+
+
+class TestStatusFlags:
+    def test_flag_bit_positions(self):
+        assert StatusFlag.C == 1
+        assert StatusFlag.Z == 2
+        assert StatusFlag.N == 4
+        assert StatusFlag.GIE == 8
+        assert StatusFlag.CPUOFF == 0x10
+        assert StatusFlag.V == 0x100
+
+    def test_flags_are_disjoint(self):
+        all_bits = 0
+        for flag in StatusFlag:
+            assert all_bits & flag == 0
+            all_bits |= flag
+
+    def test_flag_combination(self):
+        combined = StatusFlag.GIE | StatusFlag.CPUOFF
+        assert combined & StatusFlag.GIE
+        assert combined & StatusFlag.CPUOFF
+        assert not combined & StatusFlag.Z

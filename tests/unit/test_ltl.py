@@ -1,0 +1,241 @@
+"""Unit tests for the LTL toolkit: AST, parser, trace checker, Kripke
+structures and the safety model checker."""
+
+import pytest
+
+from repro.ltl.ast import (
+    And,
+    Atom,
+    Finally,
+    Globally,
+    Implies,
+    Next,
+    Not,
+    Or,
+    TrueFormula,
+    Until,
+)
+from repro.ltl.kripke import KripkeState, KripkeStructure
+from repro.ltl.model_checker import CheckResult, ModelChecker, UnsupportedFormulaError
+from repro.ltl.parser import LtlParseError, parse_ltl
+from repro.ltl.trace_checker import check_trace, evaluate_at, find_violation
+
+
+class TestAst:
+    def test_atoms_collected(self):
+        formula = Globally(Implies(Atom("a"), Or(Atom("b"), Next(Atom("c")))))
+        assert formula.atoms() == {"a", "b", "c"}
+
+    def test_propositional_detection(self):
+        assert And(Atom("a"), Not(Atom("b"))).is_propositional()
+        assert not Next(Atom("a")).is_propositional()
+        assert not Globally(Atom("a")).is_propositional()
+
+    def test_next_depth(self):
+        assert Atom("a").next_depth() == 0
+        assert Next(Atom("a")).next_depth() == 1
+        assert Next(Next(Atom("a"))).next_depth() == 2
+        assert Globally(Implies(Atom("a"), Next(Atom("b")))).next_depth() == 1
+
+    def test_operator_sugar(self):
+        formula = Atom("a") & ~Atom("b") | Atom("c")
+        assert isinstance(formula, Or)
+        implication = Atom("a").implies(Atom("b"))
+        assert isinstance(implication, Implies)
+
+    def test_rendering(self):
+        formula = Globally(Implies(Atom("pc_in_er"), Next(Atom("exec"))))
+        text = str(formula)
+        assert "G" in text and "X" in text and "pc_in_er" in text
+
+
+class TestParser:
+    def test_atoms_and_connectives(self):
+        formula = parse_ltl("a & b | !c")
+        assert formula.atoms() == {"a", "b", "c"}
+
+    def test_implication_is_right_associative(self):
+        formula = parse_ltl("a -> b -> c")
+        assert isinstance(formula, Implies)
+        assert isinstance(formula.right, Implies)
+
+    def test_temporal_operators(self):
+        assert isinstance(parse_ltl("G a"), Globally)
+        assert isinstance(parse_ltl("X a"), Next)
+        assert isinstance(parse_ltl("F a"), Finally)
+        assert isinstance(parse_ltl("a U b"), Until)
+
+    def test_paper_ltl1_shape(self):
+        formula = parse_ltl(
+            "G (pc_in_er & !X pc_in_er -> pc_at_ermax | !X exec)"
+        )
+        assert isinstance(formula, Globally)
+        assert formula.atoms() == {"pc_in_er", "pc_at_ermax", "exec"}
+
+    def test_parentheses(self):
+        formula = parse_ltl("G ((a | b) & c)")
+        assert isinstance(formula.operand, And)
+
+    def test_constants(self):
+        assert isinstance(parse_ltl("true"), TrueFormula)
+
+    def test_round_trip_through_str(self):
+        original = parse_ltl("G (Wen_ivt | DMA_ivt -> !X exec)")
+        assert parse_ltl(str(original)) == original
+
+    @pytest.mark.parametrize("bad", ["", "G", "a &", "(a", "a -> -> b", "a b"])
+    def test_malformed_inputs_rejected(self, bad):
+        with pytest.raises(LtlParseError):
+            parse_ltl(bad)
+
+
+class TestTraceChecker:
+    TRACE = [
+        {"a": True, "b": False},
+        {"a": True, "b": False},
+        {"a": False, "b": True},
+        {"a": False, "b": False},
+    ]
+
+    def test_atom_and_boolean_operators(self):
+        assert evaluate_at(parse_ltl("a & !b"), self.TRACE, 0)
+        assert not evaluate_at(parse_ltl("a & b"), self.TRACE, 0)
+        assert evaluate_at(parse_ltl("a -> !b"), self.TRACE, 0)
+
+    def test_next(self):
+        assert evaluate_at(parse_ltl("X a"), self.TRACE, 0)
+        assert not evaluate_at(parse_ltl("X a"), self.TRACE, 1)
+
+    def test_weak_vs_strict_next_at_trace_end(self):
+        assert evaluate_at(parse_ltl("X a"), self.TRACE, 3)
+        assert not evaluate_at(parse_ltl("X a"), self.TRACE, 3, strict_next=True)
+
+    def test_globally(self):
+        assert check_trace(parse_ltl("G (a | b | true)"), self.TRACE)
+        assert not check_trace(parse_ltl("G a"), self.TRACE)
+        assert evaluate_at(parse_ltl("G !a"), self.TRACE, 2)
+
+    def test_finally(self):
+        assert check_trace(parse_ltl("F b"), self.TRACE)
+        assert not evaluate_at(parse_ltl("F b"), self.TRACE, 3)
+
+    def test_until(self):
+        assert check_trace(parse_ltl("a U b"), self.TRACE)
+        assert not check_trace(parse_ltl("b U a"), self.TRACE) or True  # b false, a true at 0
+        assert evaluate_at(parse_ltl("b U a"), self.TRACE, 0)
+
+    def test_find_violation_for_globally(self):
+        assert find_violation(parse_ltl("G a"), self.TRACE) == 2
+        assert find_violation(parse_ltl("G (a | b | !a)"), self.TRACE) is None
+
+    def test_missing_atoms_read_false(self):
+        assert not check_trace(parse_ltl("missing"), self.TRACE)
+
+    def test_empty_trace_is_vacuous(self):
+        assert check_trace(parse_ltl("G a"), [])
+
+    def test_position_out_of_range(self):
+        with pytest.raises(IndexError):
+            evaluate_at(parse_ltl("a"), self.TRACE, 10)
+
+
+class TestKripkeStructure:
+    def build_counter(self, limit=3):
+        """A counter modulo *limit* with a 'zero' atom."""
+
+        def successors(state):
+            value = sum(1 for name in state if name.startswith("bit") and state[name])
+            next_value = (value + 1) % limit
+            yield {
+                "bit0": bool(next_value & 1),
+                "bit1": bool(next_value & 2),
+                "zero": next_value == 0,
+            }
+
+        return KripkeStructure.build(
+            [{"bit0": False, "bit1": False, "zero": True}], successors
+        )
+
+    def test_state_identity(self):
+        a = KripkeState.from_dict({"x": True, "y": False})
+        b = KripkeState.from_dict({"y": False, "x": True})
+        assert a == b
+        assert a.value("x") and not a.value("y")
+        assert not a.value("missing")
+
+    def test_build_explores_reachable_states(self):
+        model = self.build_counter()
+        assert model.state_count() == 3
+        assert model.transition_count() == 3
+        assert model.is_total()
+
+    def test_initial_and_reachable(self):
+        model = self.build_counter()
+        assert len(model.initial_states) == 1
+        assert model.reachable_states() == model.states
+
+    def test_successors(self):
+        model = self.build_counter()
+        initial = next(iter(model.initial_states))
+        successors = model.successors(initial)
+        assert len(successors) == 1
+
+    def test_exploration_bound(self):
+        def successors(state):
+            yield {"n%d" % (len(state) + 1): True, **state}
+
+        with pytest.raises(RuntimeError):
+            KripkeStructure.build([{"n0": True}], successors, max_states=10)
+
+
+class TestModelChecker:
+    def simple_model(self):
+        """Two states: p-state -> q-state -> q-state ..."""
+        def successors(state):
+            yield {"p": False, "q": True}
+
+        return KripkeStructure.build([{"p": True, "q": False}], successors)
+
+    def test_invariant_holds(self):
+        checker = ModelChecker(self.simple_model())
+        result = checker.check(parse_ltl("G (p | q)"), name="p-or-q")
+        assert result.holds
+        assert result.states_explored == 2
+        assert result.property_name == "p-or-q"
+
+    def test_invariant_fails_with_counterexample(self):
+        checker = ModelChecker(self.simple_model())
+        result = checker.check(parse_ltl("G p"))
+        assert not result.holds
+        assert result.counterexample
+
+    def test_next_state_property(self):
+        checker = ModelChecker(self.simple_model())
+        assert checker.check(parse_ltl("G (p -> X q)")).holds
+        assert not checker.check(parse_ltl("G (q -> X p)")).holds
+
+    def test_bare_propositional_formula_treated_as_invariant(self):
+        checker = ModelChecker(self.simple_model())
+        assert checker.check(parse_ltl("p | q")).holds
+
+    def test_unsupported_formulas_rejected(self):
+        checker = ModelChecker(self.simple_model())
+        with pytest.raises(UnsupportedFormulaError):
+            checker.check(parse_ltl("F p"))
+        with pytest.raises(UnsupportedFormulaError):
+            checker.check(parse_ltl("G (p -> X X q)"))
+        with pytest.raises(UnsupportedFormulaError):
+            checker.check(parse_ltl("G (F p)"))
+
+    def test_check_suite(self):
+        checker = ModelChecker(self.simple_model())
+        results = checker.check_suite([
+            ("one", parse_ltl("G (p | q)")),
+            ("two", parse_ltl("G (p -> X q)")),
+        ])
+        assert all(result.holds for result in results)
+        assert [result.property_name for result in results] == ["one", "two"]
+
+    def test_result_is_truthy(self):
+        assert CheckResult(holds=True)
+        assert not CheckResult(holds=False)

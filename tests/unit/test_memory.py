@@ -1,0 +1,201 @@
+"""Unit tests for the memory subsystem (layout, memory, IVT)."""
+
+import pytest
+
+from repro.memory.ivt import IVT_BASE, IVT_END, InterruptVectorTable, RESET_VECTOR_INDEX
+from repro.memory.layout import MemoryLayout, MemoryRegion
+from repro.memory.memory import Memory, MemoryError
+
+
+class TestMemoryRegion:
+    def test_size_is_inclusive(self):
+        assert MemoryRegion(0x10, 0x1F).size == 16
+
+    def test_contains(self):
+        region = MemoryRegion(0x100, 0x1FF)
+        assert region.contains(0x100)
+        assert region.contains(0x1FF)
+        assert not region.contains(0x200)
+        assert not region.contains(0x0FF)
+
+    def test_contains_span(self):
+        region = MemoryRegion(0x100, 0x10F)
+        assert region.contains_span(0x100, 16)
+        assert not region.contains_span(0x100, 17)
+        assert not region.contains_span(0x100, 0)
+
+    def test_overlaps(self):
+        a = MemoryRegion(0x100, 0x1FF)
+        assert a.overlaps(MemoryRegion(0x1FF, 0x2FF))
+        assert not a.overlaps(MemoryRegion(0x200, 0x2FF))
+
+    def test_contains_region(self):
+        outer = MemoryRegion(0x100, 0x1FF)
+        assert outer.contains_region(MemoryRegion(0x120, 0x130))
+        assert not outer.contains_region(MemoryRegion(0x120, 0x230))
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryRegion(0x200, 0x100)
+        with pytest.raises(ValueError):
+            MemoryRegion(0, 0x10000)
+
+    def test_str_contains_bounds(self):
+        text = str(MemoryRegion(0xE000, 0xE0FF, "ER"))
+        assert "E000" in text and "E0FF" in text
+
+
+class TestMemoryLayout:
+    def test_default_regions_present(self):
+        layout = MemoryLayout.default()
+        for name in ("peripherals", "data", "program", "ivt"):
+            assert layout.has_region(name)
+
+    def test_ivt_is_last_32_bytes(self):
+        layout = MemoryLayout.default()
+        assert layout.ivt.start == 0xFFE0
+        assert layout.ivt.end == 0xFFFF
+        assert layout.ivt.size == 32
+
+    def test_region_of(self):
+        layout = MemoryLayout.default()
+        assert layout.region_of(0x0300) == "data"
+        assert layout.region_of(0xFFFE) == "ivt"
+        assert layout.region_of(0xC000) == "program"
+
+    def test_region_of_unmapped_address(self):
+        layout = MemoryLayout.default()
+        assert layout.region_of(0x5000) is None
+
+    def test_overlapping_layout_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryLayout({"a": (0x0000, 0x00FF), "b": (0x0080, 0x01FF)})
+
+    def test_iteration(self):
+        names = {region.name for region in MemoryLayout.default()}
+        assert "program" in names
+
+
+class TestMemory:
+    def test_byte_read_write(self, memory):
+        memory.write_byte(0x0200, 0xAB)
+        assert memory.read_byte(0x0200) == 0xAB
+
+    def test_word_little_endian(self, memory):
+        memory.write_word(0x0200, 0x1234)
+        assert memory.read_byte(0x0200) == 0x34
+        assert memory.read_byte(0x0201) == 0x12
+
+    def test_word_access_aligns_address(self, memory):
+        memory.write_word(0x0201, 0xBEEF)
+        assert memory.peek_word(0x0200) == 0xBEEF
+
+    def test_values_are_masked(self, memory):
+        memory.write_byte(0x0200, 0x1FF)
+        assert memory.peek_byte(0x0200) == 0xFF
+        memory.write_word(0x0202, 0x12345)
+        assert memory.peek_word(0x0202) == 0x2345
+
+    def test_load_bytes_and_dump(self, memory):
+        memory.load_bytes(0x0400, b"\x01\x02\x03")
+        assert memory.dump(0x0400, 3) == b"\x01\x02\x03"
+
+    def test_dump_region(self, memory):
+        region = MemoryRegion(0x0400, 0x0403)
+        memory.load_bytes(0x0400, b"\xAA\xBB\xCC\xDD")
+        assert memory.dump_region(region) == b"\xAA\xBB\xCC\xDD"
+
+    def test_fill(self, memory):
+        memory.fill(0x0500, 4, 0x5A)
+        assert memory.dump(0x0500, 4) == b"\x5A" * 4
+
+    def test_watchers_see_runtime_accesses(self, memory):
+        seen = []
+        memory.add_watcher(seen.append)
+        memory.write_word(0x0200, 1)
+        memory.read_byte(0x0200)
+        assert len(seen) == 2
+        assert seen[0].is_write and not seen[1].is_write
+
+    def test_watchers_do_not_see_load_time_stores(self, memory):
+        seen = []
+        memory.add_watcher(seen.append)
+        memory.load_bytes(0x0200, b"\x00\x01")
+        memory.peek_word(0x0200)
+        assert seen == []
+
+    def test_remove_watcher(self, memory):
+        seen = []
+        memory.add_watcher(seen.append)
+        memory.remove_watcher(seen.append)
+        memory.write_byte(0x0200, 1)
+        assert seen == []
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(MemoryError):
+            Memory(size=0)
+        with pytest.raises(MemoryError):
+            Memory(size=0x20000)
+
+    def test_addresses_wrap_to_16_bits(self, memory):
+        memory.write_byte(0x1_0200, 0x77)
+        assert memory.peek_byte(0x0200) == 0x77
+
+
+class TestInterruptVectorTable:
+    def test_geometry(self, memory):
+        ivt = InterruptVectorTable(memory)
+        assert ivt.base == IVT_BASE
+        assert ivt.region.start == 0xFFE0
+        assert ivt.region.end == IVT_END
+        assert ivt.entries == 16
+
+    def test_entry_addresses(self, memory):
+        ivt = InterruptVectorTable(memory)
+        assert ivt.entry_address(0) == 0xFFE0
+        assert ivt.entry_address(RESET_VECTOR_INDEX) == 0xFFFE
+        with pytest.raises(IndexError):
+            ivt.entry_address(16)
+
+    def test_index_of(self, memory):
+        ivt = InterruptVectorTable(memory)
+        assert ivt.index_of(0xFFE0) == 0
+        assert ivt.index_of(0xFFFE) == 15
+        assert ivt.index_of(0xFFE5) == 2
+        with pytest.raises(ValueError):
+            ivt.index_of(0xE000)
+
+    def test_set_get_vector(self, memory):
+        ivt = InterruptVectorTable(memory)
+        ivt.set_vector(3, 0xE122)
+        assert ivt.get_vector(3) == 0xE122
+
+    def test_reset_vector(self, memory):
+        ivt = InterruptVectorTable(memory)
+        ivt.set_reset_vector(0xA400)
+        assert ivt.get_reset_vector() == 0xA400
+
+    def test_load_time_writes_bypass_watchers(self, memory):
+        seen = []
+        memory.add_watcher(seen.append)
+        ivt = InterruptVectorTable(memory)
+        ivt.set_vector(2, 0xE000, load_time=True)
+        assert seen == []
+        ivt.set_vector(2, 0xE000, load_time=False)
+        assert len(seen) == 1
+
+    def test_snapshot_and_as_dict(self, memory):
+        ivt = InterruptVectorTable(memory)
+        ivt.set_vector(2, 0xE010)
+        ivt.set_vector(9, 0xE020)
+        snapshot = ivt.snapshot()
+        assert len(snapshot) == 16
+        assert snapshot[2] == 0xE010
+        assert ivt.as_dict() == {2: 0xE010, 9: 0xE020}
+
+    def test_vectors_pointing_into(self, memory):
+        ivt = InterruptVectorTable(memory)
+        er = MemoryRegion(0xE000, 0xE0FF, "ER")
+        ivt.set_vector(2, 0xE010)
+        ivt.set_vector(5, 0xA400)
+        assert ivt.vectors_pointing_into(er) == [2]

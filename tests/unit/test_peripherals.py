@@ -1,0 +1,265 @@
+"""Unit tests for the peripherals and the interrupt controller."""
+
+import pytest
+
+from repro.memory.memory import Memory
+from repro.peripherals.dma import DmaController
+from repro.peripherals.gpio import GpioPort
+from repro.peripherals.interrupt_controller import InterruptController
+from repro.peripherals.registers import (
+    DmaBits,
+    InterruptVectors,
+    PeripheralRegisters,
+    TimerBits,
+    WatchdogBits,
+)
+from repro.peripherals.timer import TimerA
+from repro.peripherals.uart import Uart
+from repro.peripherals.watchdog import Watchdog
+
+
+@pytest.fixture
+def port1(memory):
+    port = GpioPort(
+        memory, "port1",
+        PeripheralRegisters.P1IN, PeripheralRegisters.P1OUT,
+        PeripheralRegisters.P1DIR, PeripheralRegisters.P1IFG,
+        PeripheralRegisters.P1IE, ivt_index=InterruptVectors.PORT1,
+    )
+    port.reset()
+    return port
+
+
+class TestGpioPort:
+    def test_assert_input_sets_in_and_ifg(self, memory, port1):
+        port1.assert_input(0x01)
+        assert port1.input_value() & 0x01
+        assert memory.peek_byte(PeripheralRegisters.P1IFG) & 0x01
+
+    def test_interrupt_requires_enable_bit(self, memory, port1):
+        port1.press_button(0x01)
+        assert not port1.interrupt_pending()
+        memory.load_bytes(PeripheralRegisters.P1IE, bytes([0x01]))
+        assert port1.interrupt_pending()
+
+    def test_acknowledge_clears_flag(self, memory, port1):
+        memory.load_bytes(PeripheralRegisters.P1IE, bytes([0x01]))
+        port1.press_button(0x01)
+        port1.acknowledge_interrupt()
+        assert not port1.interrupt_pending()
+
+    def test_deassert_input(self, port1):
+        port1.assert_input(0x01)
+        port1.assert_input(0x01, level=False)
+        assert not port1.input_value() & 0x01
+
+    def test_output_history_records_changes(self, memory, port1):
+        memory.load_bytes(PeripheralRegisters.P1OUT, bytes([0x10]))
+        port1.tick(5)
+        memory.load_bytes(PeripheralRegisters.P1OUT, bytes([0x00]))
+        port1.tick(5)
+        values = [value for _, value in port1.output_history]
+        assert values == [0x10, 0x00]
+
+
+class TestTimerA:
+    @pytest.fixture
+    def timer(self, memory):
+        timer = TimerA(memory)
+        timer.reset()
+        return timer
+
+    def arm(self, memory, compare=100, interrupt=True):
+        memory.load_word(PeripheralRegisters.TACCR0, compare)
+        memory.load_word(
+            PeripheralRegisters.TACCTL0, TimerBits.CCIE if interrupt else 0
+        )
+        memory.load_word(PeripheralRegisters.TACTL, TimerBits.ENABLE)
+
+    def test_disabled_timer_does_not_count(self, memory, timer):
+        timer.tick(50)
+        assert timer.counter == 0
+
+    def test_counts_when_enabled(self, memory, timer):
+        self.arm(memory, compare=1000)
+        timer.tick(50)
+        assert timer.counter == 50
+
+    def test_compare_raises_interrupt(self, memory, timer):
+        self.arm(memory, compare=30)
+        timer.tick(40)
+        assert timer.interrupt_pending()
+
+    def test_compare_without_ccie_does_not_interrupt(self, memory, timer):
+        self.arm(memory, compare=30, interrupt=False)
+        timer.tick(40)
+        assert not timer.interrupt_pending()
+
+    def test_acknowledge_clears_pending(self, memory, timer):
+        self.arm(memory, compare=30)
+        timer.tick(40)
+        timer.acknowledge_interrupt()
+        assert not timer.interrupt_pending()
+
+    def test_clear_bit_resets_counter(self, memory, timer):
+        self.arm(memory, compare=1000)
+        timer.tick(100)
+        memory.load_word(
+            PeripheralRegisters.TACTL, TimerBits.ENABLE | TimerBits.CLEAR
+        )
+        timer.tick(1)
+        assert timer.counter <= 1
+
+
+class TestUart:
+    @pytest.fixture
+    def uart(self, memory):
+        uart = Uart(memory)
+        uart.reset()
+        return uart
+
+    def test_receive_latches_into_buffer(self, memory, uart):
+        uart.receive_byte(0x42)
+        uart.tick(1)
+        assert memory.peek_byte(PeripheralRegisters.URXBUF) == 0x42
+        assert memory.peek_byte(PeripheralRegisters.URXIFG) == 0x01
+
+    def test_rx_interrupt_gated_by_enable(self, memory, uart):
+        uart.receive_byte(0x42)
+        uart.tick(1)
+        assert not uart.interrupt_pending()
+        memory.load_bytes(PeripheralRegisters.URCTL, bytes([0x01]))
+        assert uart.interrupt_pending()
+
+    def test_second_byte_waits_for_flag_clear(self, memory, uart):
+        uart.receive_bytes(b"\x01\x02")
+        uart.tick(1)
+        uart.tick(1)
+        assert memory.peek_byte(PeripheralRegisters.URXBUF) == 0x01
+        uart.acknowledge_interrupt()
+        uart.tick(1)
+        assert memory.peek_byte(PeripheralRegisters.URXBUF) == 0x02
+
+    def test_transmit_log(self, memory, uart):
+        memory.load_bytes(PeripheralRegisters.UTXBUF, bytes([0x55]))
+        memory.load_bytes(PeripheralRegisters.UTXIFG, bytes([0x01]))
+        uart.tick(1)
+        assert uart.transmitted_bytes() == b"\x55"
+
+
+class TestDmaController:
+    @pytest.fixture
+    def dma(self, memory):
+        dma = DmaController(memory)
+        dma.reset()
+        return dma
+
+    def test_transfer_copies_words(self, memory, dma):
+        memory.load_word(0x0300, 0xAAAA)
+        memory.load_word(0x0302, 0xBBBB)
+        dma.configure(source=0x0300, destination=0x0500, size_words=2)
+        dma.trigger()
+        dma.tick(1)
+        dma.tick(1)
+        assert memory.peek_word(0x0500) == 0xAAAA
+        assert memory.peek_word(0x0502) == 0xBBBB
+
+    def test_one_word_per_tick(self, memory, dma):
+        dma.configure(source=0x0300, destination=0x0500, size_words=3)
+        dma.trigger()
+        dma.tick(1)
+        assert dma.active
+        assert dma.words_remaining == 2
+
+    def test_activity_reported_per_tick(self, memory, dma):
+        dma.configure(source=0x0300, destination=0x0500, size_words=1)
+        dma.trigger()
+        dma.tick(1)
+        reads, writes = dma.collect_activity()
+        assert len(reads) == 1 and len(writes) == 1
+        assert writes[0].address == 0x0500
+        dma.tick(1)
+        reads, writes = dma.collect_activity()
+        assert reads == [] and writes == []
+
+    def test_completion_raises_interrupt_flag(self, memory, dma):
+        dma.configure(source=0x0300, destination=0x0500, size_words=1)
+        dma.trigger()
+        dma.tick(1)
+        assert dma.interrupt_pending()
+        assert memory.peek_word(PeripheralRegisters.DMA0CTL) & DmaBits.IFG
+        dma.acknowledge_interrupt()
+        assert not dma.interrupt_pending()
+
+    def test_idle_without_request(self, memory, dma):
+        dma.configure(source=0x0300, destination=0x0500, size_words=1)
+        dma.tick(1)
+        assert not dma.active
+        assert memory.peek_word(0x0500) == 0
+
+
+class TestWatchdog:
+    def test_expires_when_not_held(self, memory):
+        watchdog = Watchdog(memory, interval=100)
+        watchdog.reset()
+        watchdog.tick(101)
+        assert watchdog.expired
+
+    def test_held_watchdog_never_expires(self, memory):
+        watchdog = Watchdog(memory, interval=100)
+        watchdog.reset()
+        memory.load_word(
+            PeripheralRegisters.WDTCTL, WatchdogBits.PASSWORD | WatchdogBits.HOLD
+        )
+        watchdog.tick(1000)
+        assert not watchdog.expired
+
+    def test_kick_reloads_counter(self, memory):
+        watchdog = Watchdog(memory, interval=100)
+        watchdog.reset()
+        watchdog.tick(90)
+        watchdog.kick()
+        watchdog.tick(90)
+        assert not watchdog.expired
+
+
+class TestInterruptController:
+    def test_peripheral_request_visible(self, memory, port1):
+        controller = InterruptController()
+        controller.attach(port1)
+        memory.load_bytes(PeripheralRegisters.P1IE, bytes([0x01]))
+        assert controller.highest_pending() is None
+        port1.press_button()
+        assert controller.highest_pending() == InterruptVectors.PORT1
+
+    def test_priority_order(self, memory, port1):
+        controller = InterruptController()
+        controller.attach(port1)
+        memory.load_bytes(PeripheralRegisters.P1IE, bytes([0x01]))
+        port1.press_button()
+        controller.inject(InterruptVectors.TIMER_A0)
+        assert controller.highest_pending() == InterruptVectors.TIMER_A0
+
+    def test_injected_request_clears_after_service(self):
+        controller = InterruptController()
+        controller.inject(5)
+        controller.acknowledge(5)
+        assert controller.highest_pending() is None
+        assert controller.serviced[5] == 1
+
+    def test_sticky_injection_persists(self):
+        controller = InterruptController()
+        controller.inject(5, sticky=True)
+        controller.acknowledge(5)
+        assert controller.highest_pending() == 5
+        controller.clear_injected(5)
+        assert controller.highest_pending() is None
+
+    def test_acknowledge_notifies_peripheral(self, memory, port1):
+        controller = InterruptController()
+        controller.attach(port1)
+        memory.load_bytes(PeripheralRegisters.P1IE, bytes([0x01]))
+        port1.press_button()
+        controller.acknowledge(InterruptVectors.PORT1)
+        assert not port1.interrupt_pending()
+        assert controller.total_serviced() == 1

@@ -1,0 +1,62 @@
+"""Unit tests for the VCD waveform exporter."""
+
+from repro.cpu.signals import SignalBundle
+from repro.device.trace import TraceRecorder
+from repro.device.vcd import VcdWriter, export_vcd
+from repro.firmware.blinker import blinker_firmware
+from repro.firmware.testbench import PoxTestbench, TestbenchConfig
+
+
+def build_trace():
+    trace = TraceRecorder()
+    for index in range(5):
+        bundle = SignalBundle(
+            cycle=index + 1,
+            pc=0xE000 + 2 * index,
+            next_pc=0xE002 + 2 * index,
+            irq=(index == 2),
+        )
+        trace.record(bundle, {"EXEC": 1 if index < 3 else 0})
+    return trace
+
+
+class TestVcdWriter:
+    def test_header_declares_all_signals(self):
+        text = VcdWriter(["EXEC", "irq", "PC"]).render(build_trace())
+        assert "$timescale" in text
+        assert text.count("$var wire") == 3
+        assert "EXEC" in text and "irq" in text and "PC" in text
+
+    def test_binary_signals_are_one_bit(self):
+        text = VcdWriter(["EXEC", "irq"]).render(build_trace())
+        assert "$var wire 1" in text
+        assert "$var wire 16" not in text
+
+    def test_pc_is_sixteen_bit_vector(self):
+        text = VcdWriter(["PC"]).render(build_trace())
+        assert "$var wire 16" in text
+        assert "b1110000000000000 " in text  # 0xE000
+
+    def test_only_changes_are_emitted(self):
+        text = VcdWriter(["EXEC"]).render(build_trace())
+        # EXEC changes exactly once (1 -> 0), so there is one timestamped change.
+        change_lines = [line for line in text.splitlines() if line.startswith("#")]
+        assert len(change_lines) == 2  # the change plus the final timestamp
+
+    def test_export_to_file(self, tmp_path):
+        path = tmp_path / "trace.vcd"
+        returned = export_vcd(build_trace(), str(path), signals=["EXEC", "PC"])
+        assert returned == str(path)
+        content = path.read_text()
+        assert content.startswith("$date")
+        assert content.endswith("\n")
+
+    def test_export_real_scenario(self, tmp_path):
+        bench = PoxTestbench(blinker_firmware(authorized=True), TestbenchConfig())
+        bench.run_pox(setup=lambda d: d.schedule_button_press(6))
+        path = tmp_path / "fig5a.vcd"
+        export_vcd(bench.device.trace, str(path), signals=["EXEC", "irq", "PC"])
+        text = path.read_text()
+        assert "$enddefinitions" in text
+        # The interrupt shows up as a rising edge of irq somewhere.
+        assert "\n1" in text

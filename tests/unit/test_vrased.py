@@ -1,0 +1,266 @@
+"""Unit tests for the VRASED substrate (config, monitor, SW-Att, protocol)."""
+
+import pytest
+
+from repro.cpu.signals import MemoryRead, MemoryWrite, SignalBundle
+from repro.crypto.keys import KeyStore
+from repro.memory.layout import MemoryLayout, MemoryRegion
+from repro.memory.memory import Memory
+from repro.vrased.config import VrasedConfig
+from repro.vrased.hwmod import VrasedMonitor
+from repro.vrased.protocol import AttestationProtocol, Verifier
+from repro.vrased.swatt import SwAtt
+
+
+def bundle(pc=0xA400, next_pc=None, reads=(), writes=(), dma_writes=(),
+           irq=False, dma_en=False, cycle=1):
+    """Build a signal bundle with the given activity."""
+    return SignalBundle(
+        cycle=cycle,
+        pc=pc,
+        next_pc=pc + 2 if next_pc is None else next_pc,
+        irq=irq,
+        dma_en=dma_en or bool(dma_writes),
+        reads=[MemoryRead(address, 0, 2) for address in reads],
+        writes=[MemoryWrite(address, 0, 2) for address in writes],
+        dma_writes=[MemoryWrite(address, 0, 2) for address in dma_writes],
+    )
+
+
+@pytest.fixture
+def config():
+    return VrasedConfig.for_layout(MemoryLayout.default())
+
+
+@pytest.fixture
+def monitor(config):
+    return VrasedMonitor(config)
+
+
+class TestVrasedConfig:
+    def test_for_layout_regions_inside_program_memory(self, config):
+        layout = MemoryLayout.default()
+        config.validate_against(layout)
+        assert layout.program.contains_region(config.key_region)
+        assert layout.program.contains_region(config.swatt_region)
+
+    def test_key_and_swatt_do_not_overlap(self, config):
+        assert not config.key_region.overlaps(config.swatt_region)
+
+    def test_overlapping_regions_rejected(self):
+        with pytest.raises(ValueError):
+            VrasedConfig(
+                key_region=MemoryRegion(0xA000, 0xA0FF, "key"),
+                swatt_region=MemoryRegion(0xA080, 0xA3FF, "swatt"),
+            )
+
+    def test_misplaced_region_rejected(self):
+        config = VrasedConfig(
+            key_region=MemoryRegion(0x0300, 0x031F, "key"),
+            swatt_region=MemoryRegion(0xA020, 0xA3FF, "swatt"),
+        )
+        with pytest.raises(ValueError):
+            config.validate_against(MemoryLayout.default())
+
+
+class TestVrasedMonitorKeyRules:
+    def test_key_read_outside_swatt_is_violation(self, config, monitor):
+        monitor.observe(bundle(pc=0xE000, reads=[config.key_region.start]))
+        assert monitor.violated
+        assert monitor.violations_for("key-access")
+
+    def test_key_read_inside_swatt_is_allowed(self, config, monitor):
+        monitor.observe(bundle(pc=config.swatt_region.start,
+                               reads=[config.key_region.start]))
+        assert not monitor.violations_for("key-access")
+
+    def test_dma_to_key_is_violation(self, config, monitor):
+        monitor.observe(bundle(pc=0xE000, dma_writes=[config.key_region.start]))
+        assert monitor.violations_for("key-dma")
+
+    def test_key_write_is_violation(self, config, monitor):
+        monitor.observe(bundle(pc=config.swatt_region.start,
+                               writes=[config.key_region.start]))
+        assert monitor.violations_for("key-write")
+
+
+class TestVrasedMonitorAtomicity:
+    def test_entry_not_at_first_instruction(self, config, monitor):
+        entry_mid = config.swatt_region.start + 10
+        monitor.observe(bundle(pc=0xE000, next_pc=entry_mid))
+        monitor.observe(bundle(pc=entry_mid))
+        assert monitor.violations_for("swatt-entry")
+
+    def test_entry_at_first_instruction_ok(self, config, monitor):
+        start = config.swatt_region.start
+        monitor.observe(bundle(pc=0xE000, next_pc=start))
+        monitor.observe(bundle(pc=start))
+        assert not monitor.violations_for("swatt-entry")
+
+    def test_interrupt_during_swatt(self, config, monitor):
+        monitor.observe(bundle(pc=config.swatt_region.start, irq=True))
+        assert monitor.violations_for("swatt-interrupt")
+
+    def test_dma_during_swatt(self, config, monitor):
+        monitor.observe(bundle(pc=config.swatt_region.start, dma_en=True))
+        assert monitor.violations_for("swatt-dma")
+
+    def test_exit_from_middle_is_violation(self, config, monitor):
+        middle = config.swatt_region.start + 20
+        monitor.observe(bundle(pc=config.swatt_region.start, next_pc=middle))
+        monitor.observe(bundle(pc=middle, next_pc=0xE000))
+        assert monitor.violations_for("swatt-exit")
+
+    def test_exit_from_last_word_is_allowed(self, config, monitor):
+        exit_pc = config.swatt_region.end - 1
+        monitor.observe(bundle(pc=exit_pc, next_pc=0xE000))
+        assert not monitor.violations_for("swatt-exit")
+
+    def test_configured_exit_address(self, config):
+        config.swatt_exit = config.swatt_region.start + 40
+        monitor = VrasedMonitor(config)
+        monitor.observe(bundle(pc=config.swatt_exit, next_pc=0xE000))
+        assert not monitor.violations_for("swatt-exit")
+
+    def test_swatt_code_write_is_violation(self, config, monitor):
+        monitor.observe(bundle(pc=0xE000, writes=[config.swatt_region.start + 4]))
+        assert monitor.violations_for("swatt-write")
+
+    def test_reset_clears_state(self, config, monitor):
+        monitor.observe(bundle(pc=0xE000, writes=[config.key_region.start]))
+        assert monitor.violated and monitor.reset_pending
+        monitor.reset()
+        assert not monitor.violated and not monitor.reset_pending
+
+    def test_signal_values(self, config, monitor):
+        assert monitor.signal_values() == {"VRASED_OK": 1}
+        monitor.observe(bundle(pc=0xE000, writes=[config.key_region.start]))
+        assert monitor.signal_values() == {"VRASED_OK": 0}
+
+
+class TestSwAtt:
+    def test_measurement_depends_on_memory_contents(self):
+        store = KeyStore()
+        key = store.provision("dev")
+        swatt = SwAtt(key)
+        memory = Memory()
+        region = MemoryRegion(0xE000, 0xE01F, "attested")
+        memory.load_bytes(0xE000, b"\x01" * 32)
+        report_a = swatt.measure(memory, b"\x00" * 32, [region])
+        memory.load_bytes(0xE000, b"\x02" * 32)
+        report_b = swatt.measure(memory, b"\x00" * 32, [region])
+        assert report_a.measurement != report_b.measurement
+
+    def test_measurement_depends_on_challenge_and_region_bounds(self):
+        store = KeyStore()
+        key = store.provision("dev")
+        swatt = SwAtt(key)
+        memory = Memory()
+        region_a = MemoryRegion(0xE000, 0xE01F, "a")
+        region_b = MemoryRegion(0xE020, 0xE03F, "b")
+        r1 = swatt.measure(memory, b"\x00" * 32, [region_a])
+        r2 = swatt.measure(memory, b"\x01" + b"\x00" * 31, [region_a])
+        r3 = swatt.measure(memory, b"\x00" * 32, [region_b])
+        assert len({r1.measurement, r2.measurement, r3.measurement}) == 3
+
+    def test_scalars_fold_into_measurement(self):
+        store = KeyStore()
+        key = store.provision("dev")
+        swatt = SwAtt(key)
+        memory = Memory()
+        region = MemoryRegion(0xE000, 0xE01F, "a")
+        with_flag = swatt.measure(memory, b"\x00" * 32, [region], scalars={"EXEC": 1})
+        without_flag = swatt.measure(memory, b"\x00" * 32, [region], scalars={"EXEC": 0})
+        assert with_flag.measurement != without_flag.measurement
+        assert with_flag.claim("EXEC") == 1
+
+    def test_snapshots_travel_in_the_clear(self):
+        store = KeyStore()
+        key = store.provision("dev")
+        swatt = SwAtt(key)
+        memory = Memory()
+        memory.load_bytes(0x0600, b"\xAB\xCD")
+        region = MemoryRegion(0xE000, 0xE01F, "a")
+        output = MemoryRegion(0x0600, 0x0601, "or")
+        report = swatt.measure(memory, b"\x00" * 32, [region],
+                               snapshot_regions={"OR": output})
+        assert report.snapshots["OR"] == b"\xAB\xCD"
+
+    def test_expected_measurement_matches_prover(self):
+        store = KeyStore()
+        key = store.provision("dev")
+        swatt = SwAtt(key)
+        memory = Memory()
+        memory.load_bytes(0xE000, b"\x7F" * 32)
+        region = MemoryRegion(0xE000, 0xE01F, "a")
+        challenge = b"\x05" * 32
+        report = swatt.measure(memory, challenge, [region])
+        expected = SwAtt.expected_measurement(
+            key, challenge, [(region, b"\x7F" * 32)]
+        )
+        assert expected == report.measurement
+
+    def test_expected_measurement_size_mismatch_rejected(self):
+        store = KeyStore()
+        key = store.provision("dev")
+        region = MemoryRegion(0xE000, 0xE01F, "a")
+        with pytest.raises(ValueError):
+            SwAtt.expected_measurement(key, b"\x00" * 32, [(region, b"\x00" * 3)])
+
+
+class TestAttestationProtocol:
+    def build(self, device):
+        verifier = Verifier()
+        protocol = AttestationProtocol(device, verifier, "prover-1")
+        device.memory.load_bytes(0xC000, b"\x42" * 64)
+        protocol.snapshot_reference()
+        return verifier, protocol
+
+    def test_honest_prover_accepted(self, device):
+        _verifier, protocol = self.build(device)
+        result = protocol.run()
+        assert result.accepted
+
+    def test_modified_program_memory_rejected(self, device):
+        _verifier, protocol = self.build(device)
+        device.memory.load_bytes(0xC100, b"\x99")
+        result = protocol.run()
+        assert not result.accepted
+        assert result.reason == "measurement mismatch"
+
+    def test_request_tokens_authenticate_verifier(self, device):
+        verifier, protocol = self.build(device)
+        request = verifier.create_request("prover-1")
+        assert request.verify_token(protocol.device_key)
+
+    def test_challenge_single_use(self, device):
+        verifier, protocol = self.build(device)
+        request = verifier.create_request("prover-1")
+        report = protocol.prover.swatt.measure(
+            device.memory, request.challenge, protocol.attested_regions()
+        )
+        assert verifier.verify(report).accepted
+        assert not verifier.verify(report).accepted  # replay rejected
+
+    def test_unknown_challenge_rejected(self, device):
+        verifier, protocol = self.build(device)
+        report = protocol.prover.swatt.measure(
+            device.memory, b"\xEE" * 32, protocol.attested_regions()
+        )
+        result = verifier.verify(report)
+        assert not result.accepted
+        assert "challenge" in result.reason
+
+    def test_monitor_violation_blocks_exchange(self, device):
+        verifier = Verifier()
+        config = None
+        from repro.vrased.config import VrasedConfig
+        config = VrasedConfig.for_layout(device.layout)
+        monitor = VrasedMonitor(config)
+        protocol = AttestationProtocol(device, verifier, "prover-2",
+                                       config=config, monitor=monitor)
+        protocol.snapshot_reference()
+        monitor.observe(bundle(pc=0xE000, writes=[config.key_region.start]))
+        result = protocol.run()
+        assert not result.accepted
+        assert "reset" in result.reason
