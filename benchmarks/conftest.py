@@ -2,14 +2,30 @@
 
 Every benchmark regenerates one of the paper's evaluation artifacts
 (Fig. 5 waveforms, Fig. 6 overhead bars, the verification-cost and
-runtime-overhead numbers of Section 5) and prints the corresponding
+runtime-overhead numbers of Section 5) or records a performance
+trajectory (simulation throughput) and prints the corresponding
 rows/series.  Run with ``pytest benchmarks/ --benchmark-only -s`` to see
 the tables alongside the timing statistics.
+
+Everything collected from this directory is marked ``bench`` so the
+tier-1 suite can be run without the long benchmark tail via
+``pytest -m "not bench" -x -q``.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
+
+
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if _BENCH_DIR in Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.bench)
 
 
 def print_table(title, rows):

@@ -1,0 +1,148 @@
+"""Simulation throughput: steps/sec with the decode cache on vs. off.
+
+The ROADMAP's north star is a simulator that runs "as fast as the
+hardware allows"; every scenario sweep multiplies the cost of the step
+loop.  This bench records the throughput trajectory of the interpreter
+across the four corners of the fast-path matrix:
+
+* decoded-instruction cache on / off (``DeviceConfig.decode_cache_enabled``),
+* per-step trace recording on / off (``DeviceConfig.trace_enabled``),
+
+measured on the paper's firmware images (the Fig. 4 blinker and the
+Section 3 syringe pump).  The companion differential test
+(``tests/integration/test_decode_cache_differential.py``) proves that
+every configuration produces byte-for-byte identical traces and monitor
+observations; this file only measures speed.
+
+Run with ``pytest benchmarks/test_bench_sim_throughput.py --benchmark-only -s``
+to see the table alongside the timing statistics.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.firmware.blinker import blinker_firmware
+from repro.firmware.syringe_pump import PumpParameters, busy_wait_pump_firmware
+from repro.firmware.testbench import PoxTestbench, TestbenchConfig
+
+#: Steps per measurement pass.  Long enough that the per-pass overhead
+#: (building the bench, warming the cache) is negligible.
+MEASURE_STEPS = 30000
+#: Measurement passes per configuration; the best one is reported so a
+#: scheduling hiccup cannot fail the ratio assertion.
+REPEATS = 4
+#: Required speedup of the decode cache (trace off, like for like).
+REQUIRED_SPEEDUP = 3.0
+
+
+def _fresh_device(firmware, decode_cache, trace):
+    """A monitor-less device running *firmware* from reset."""
+    bench = PoxTestbench(firmware, TestbenchConfig(
+        decode_cache_enabled=decode_cache, trace_enabled=trace,
+    ))
+    device = bench.device
+    # The monitor pipeline is identical in every configuration (the
+    # differential test proves it); detach it so the measurement sees
+    # the raw step loop.
+    device.detach_monitor(bench.monitor)
+    return device
+
+
+def _steps_per_second(firmware, decode_cache, trace):
+    best = 0.0
+    for _ in range(REPEATS):
+        device = _fresh_device(firmware, decode_cache, trace)
+        device.run_steps(1000)  # settle: boot code, cold decode cache
+        started = time.perf_counter()
+        device.run_steps(MEASURE_STEPS)
+        elapsed = time.perf_counter() - started
+        best = max(best, MEASURE_STEPS / elapsed)
+    return best
+
+
+def _matrix(firmware):
+    """Measure all four cache/trace corners for *firmware*."""
+    return {
+        (cache, trace): _steps_per_second(firmware, cache, trace)
+        for cache in (True, False)
+        for trace in (True, False)
+    }
+
+
+def _rows(name, matrix):
+    rows = []
+    for cache in (False, True):
+        for trace in (False, True):
+            rows.append({
+                "firmware": name,
+                "decode cache": "on" if cache else "off",
+                "trace": "on" if trace else "off",
+                "steps/sec": "%.0f" % matrix[(cache, trace)],
+            })
+    return rows
+
+
+def _assert_speedup(benchmark, table_printer, firmware, title):
+    """Measure the matrix, print it, assert the cache speedup.
+
+    The matrix itself is measured with ``perf_counter`` (the four cells
+    must be like-for-like); one pass of the fast configuration is also
+    run under the ``benchmark`` fixture so the test is collected by
+    ``pytest benchmarks/ --benchmark-only`` and leaves a trajectory
+    sample.
+    """
+    matrix = _matrix(firmware)
+    table_printer(title, _rows(title, matrix))
+    speedup = matrix[(True, False)] / matrix[(False, False)]
+    print("decode-cache speedup (trace off): %.2fx" % speedup)
+    benchmark.pedantic(
+        lambda: _fresh_device(firmware, True, False).run_steps(2000),
+        rounds=1,
+    )
+    assert speedup >= REQUIRED_SPEEDUP
+
+
+def test_decode_cache_speedup_blinker(benchmark, table_printer):
+    """The cache gives >= 3x steps/sec on the Fig. 4 blinker firmware."""
+    _assert_speedup(benchmark, table_printer,
+                    blinker_firmware(authorized=True),
+                    "Simulation throughput (blinker)")
+
+
+def test_decode_cache_speedup_syringe_pump(benchmark, table_printer):
+    """The cache gives >= 3x steps/sec on the syringe-pump firmware."""
+    _assert_speedup(benchmark, table_printer,
+                    busy_wait_pump_firmware(PumpParameters(dosage_cycles=200)),
+                    "Simulation throughput (busy-wait pump)")
+
+
+def test_trace_recording_is_not_the_bottleneck(benchmark, table_printer):
+    """With the cache on, tracing costs less than the decode loop did."""
+    firmware = blinker_firmware(authorized=True)
+    traced = _steps_per_second(firmware, True, True)
+    untraced = _steps_per_second(firmware, False, False)
+    table_printer("Tracing overhead vs. decode overhead", [
+        {"configuration": "cache on, trace on", "steps/sec": "%.0f" % traced},
+        {"configuration": "cache off, trace off", "steps/sec": "%.0f" % untraced},
+    ])
+    benchmark.pedantic(
+        lambda: _fresh_device(firmware, True, True).run_steps(2000),
+        rounds=1,
+    )
+    # Even paying for full trace recording, the cached interpreter beats
+    # the uncached one running with tracing disabled.
+    assert traced > untraced
+
+
+def test_throughput_trajectory(benchmark):
+    """Record the fast-path configuration in the bench trajectory."""
+    firmware = blinker_firmware(authorized=True)
+
+    def run():
+        device = _fresh_device(firmware, decode_cache=True, trace=False)
+        device.run_steps(MEASURE_STEPS)
+        return device.step_number
+
+    steps = benchmark(run)
+    assert steps >= MEASURE_STEPS

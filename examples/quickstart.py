@@ -22,6 +22,15 @@ from repro import PoxTestbench, TestbenchConfig, blinker_firmware
 
 def main():
     # The Fig. 4 firmware: a dummy loop inside ER plus a trusted GPIO ISR.
+    #
+    # Performance knobs (all forwarded to DeviceConfig):
+    #   decode_cache_enabled=True   -- memoise decoded instructions per PC;
+    #       ~3x steps/sec, write-invalidated so self-modifying code (and
+    #       the attack gallery) still executes fresh bytes.  On by default.
+    #   trace_enabled=True          -- per-step trace recording; turn off
+    #       for raw simulation speed (waveforms then stay empty).
+    #   trace_limit=None            -- bound the trace to the last N steps
+    #       (ring buffer) so soak runs cannot grow memory without limit.
     firmware = blinker_firmware(authorized=True)
     bench = PoxTestbench(firmware, TestbenchConfig(architecture="asap"))
 

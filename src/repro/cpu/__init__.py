@@ -10,6 +10,7 @@ step, and every monitor consumes the same bundles.
 
 from repro.cpu.signals import SignalBundle, MemoryWrite, MemoryRead
 from repro.cpu.core import CPU, CPUError, StepResult
+from repro.cpu.decode_cache import DecodeCache
 
 __all__ = [
     "SignalBundle",
@@ -18,4 +19,5 @@ __all__ = [
     "CPU",
     "CPUError",
     "StepResult",
+    "DecodeCache",
 ]

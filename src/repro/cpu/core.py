@@ -39,7 +39,7 @@ class CPUError(Exception):
     """Raised on unrecoverable execution errors (bad opcodes, bad state)."""
 
 
-@dataclass
+@dataclass(slots=True)
 class StepResult:
     """Outcome of one :meth:`CPU.step` call."""
 
@@ -53,6 +53,24 @@ INTERRUPT_ENTRY_CYCLES = 6
 #: Cycles consumed by an idle (CPUOFF) step.
 IDLE_CYCLES = 1
 
+# Plain-int status flag masks for the hot paths: IntFlag arithmetic
+# re-instantiates enum members on every ``&``/``|``, which shows up as a
+# top-three cost in the step-loop profile.
+_C = int(StatusFlag.C)
+_Z = int(StatusFlag.Z)
+_N = int(StatusFlag.N)
+_V = int(StatusFlag.V)
+_GIE = int(StatusFlag.GIE)
+_CPUOFF = int(StatusFlag.CPUOFF)
+#: Clears C/Z/N/V before arithmetic updates the condition codes.
+_KEEP_NON_ARITH = ~(_C | _Z | _N | _V) & 0xFFFF
+#: Clears C/Z/N (DADD leaves V untouched, as on hardware).
+_KEEP_NON_CZN = ~(_C | _Z | _N) & 0xFFFF
+#: Interrupt entry clears GIE and the low-power bits so the ISR runs.
+_ISR_SR_MASK = ~int(
+    StatusFlag.GIE | StatusFlag.CPUOFF | StatusFlag.OSCOFF | StatusFlag.SCG1
+) & 0xFFFF
+
 
 class CPU:
     """The execution engine.
@@ -63,14 +81,30 @@ class CPU:
     the APEX/ASAP hardware monitors observing the emitted signal bundles.
     """
 
-    def __init__(self, memory, ivt=None):
+    def __init__(self, memory, ivt=None, decode_cache=None):
         self.memory = memory
         self.ivt = ivt if ivt is not None else InterruptVectorTable(memory)
+        #: Optional :class:`~repro.cpu.decode_cache.DecodeCache`.  The
+        #: owner (normally :class:`~repro.device.mcu.Device`) must
+        #: register its invalidation hook as a memory write listener so
+        #: entries never outlive the code bytes they were decoded from.
+        self.decode_cache = decode_cache
         self.registers = [0] * REGISTER_COUNT
         self.cycle_count = 0
         self.step_count = 0
         self._writes = []
         self._reads = []
+        # Per-opcode execute handlers: one dict lookup replaces the
+        # format-property chain in the per-step dispatch.
+        self._handlers = {}
+        for opcode in Opcode:
+            fmt = opcode.format
+            if fmt is InstructionFormat.JUMP:
+                self._handlers[opcode] = self._execute_jump
+            elif fmt is InstructionFormat.SINGLE_OPERAND:
+                self._handlers[opcode] = self._execute_single
+            else:
+                self._handlers[opcode] = self._execute_double
 
     # ------------------------------------------------------------ state
 
@@ -103,10 +137,11 @@ class CPU:
 
     def flag(self, flag):
         """Return the boolean value of a :class:`StatusFlag`."""
-        return bool(self.registers[SR] & flag)
+        return bool(self.registers[SR] & int(flag))
 
     def set_flag(self, flag, value):
         """Set or clear a :class:`StatusFlag`."""
+        flag = int(flag)
         if value:
             self.registers[SR] |= flag
         else:
@@ -115,12 +150,12 @@ class CPU:
     @property
     def interrupts_enabled(self):
         """``True`` when the general-interrupt-enable bit is set."""
-        return self.flag(StatusFlag.GIE)
+        return bool(self.registers[SR] & _GIE)
 
     @property
     def sleeping(self):
         """``True`` when the CPU is in low-power mode (``CPUOFF``)."""
-        return self.flag(StatusFlag.CPUOFF)
+        return bool(self.registers[SR] & _CPUOFF)
 
     def reset(self, stack_top=None):
         """Reset the core: clear registers and load PC from the reset vector."""
@@ -142,11 +177,14 @@ class CPU:
         asleep (as on the real device, where such a configuration would
         hang -- firmware is expected to sleep with interrupts enabled).
         """
-        self._writes = []
-        self._reads = []
-        start_pc = self.pc
-        gie_before = self.interrupts_enabled
-        cpu_off_before = self.sleeping
+        if self._writes:
+            self._writes = []
+        if self._reads:
+            self._reads = []
+        start_pc = self.registers[PC]
+        sr = self.registers[SR]
+        gie_before = bool(sr & _GIE)
+        cpu_off_before = bool(sr & _CPUOFF)
 
         if pending_interrupt is not None and gie_before:
             bundle = self._enter_interrupt(pending_interrupt, start_pc, gie_before, cpu_off_before)
@@ -159,12 +197,23 @@ class CPU:
             )
             return StepResult(bundle=bundle, idle=True)
 
-        instruction, size = self._fetch(start_pc)
+        # Inlined decode-cache hit path (the hottest branch in the whole
+        # simulator); _fetch handles the miss and cache-less cases.
+        cache = self.decode_cache
+        if cache is not None:
+            entry = cache._entries.get(start_pc)
+            if entry is not None:
+                cache.hits += 1
+                instruction, size, text, cycles = entry
+            else:
+                instruction, size, text, cycles = self._fetch(start_pc)
+        else:
+            instruction, size, text, cycles = self._fetch(start_pc)
         self.registers[PC] = (start_pc + size) & 0xFFFF
-        self._execute(instruction)
+        self._handlers[instruction.opcode](instruction)
         bundle = self._make_bundle(
-            start_pc, self.pc, gie_before, cpu_off_before,
-            instruction=instruction.render(), cycles=instruction.cycles(),
+            start_pc, self.registers[PC], gie_before, cpu_off_before,
+            instruction=text, cycles=cycles,
         )
         return StepResult(bundle=bundle)
 
@@ -173,9 +222,7 @@ class CPU:
         self._push(self.pc)
         self._push(self.sr)
         # Hardware clears GIE and the low-power bits so the ISR runs.
-        self.sr &= ~(
-            StatusFlag.GIE | StatusFlag.CPUOFF | StatusFlag.OSCOFF | StatusFlag.SCG1
-        ) & 0xFFFF
+        self.registers[SR] &= _ISR_SR_MASK
         handler = self.ivt.get_vector(source)
         self._reads.append(MemoryRead(self.ivt.entry_address(source), handler, 2))
         self.pc = handler
@@ -190,6 +237,11 @@ class CPU:
                      instruction=None, cycles=1):
         self.cycle_count += cycles
         self.step_count += 1
+        # Non-empty access lists are handed over without copying (step()
+        # rebinds fresh lists before reuse, so the bundle owns them);
+        # no-access steps share an immutable empty tuple instead, which
+        # keeps the retained per-step list from leaking into older
+        # bundles when a later step appends to it.
         return SignalBundle(
             cycle=self.step_count,
             pc=pc,
@@ -199,15 +251,29 @@ class CPU:
             gie=gie,
             cpu_off=cpu_off,
             instruction=instruction,
-            writes=list(self._writes),
-            reads=list(self._reads),
+            writes=self._writes or (),
+            reads=self._reads or (),
             cycles_consumed=cycles,
         )
 
     # ------------------------------------------------------------ fetch
 
     def _fetch(self, address):
-        """Decode the instruction at *address*; return ``(instruction, bytes)``."""
+        """Decode the instruction at *address*.
+
+        Returns ``(instruction, size_bytes, rendered_text, cycles)``.
+        With a decode cache attached, a hit skips the memory peeks, the
+        operand decode and the (surprisingly expensive) text rendering;
+        the cached artifacts are pure functions of the instruction bytes,
+        so hits and misses produce identical signal bundles.
+        """
+        cache = self.decode_cache
+        if cache is not None:
+            entry = cache._entries.get(address)
+            if entry is not None:
+                cache.hits += 1
+                return entry
+            cache.misses += 1
         words = [
             self.memory.peek_word(address),
             self.memory.peek_word((address + 2) & 0xFFFF),
@@ -219,7 +285,12 @@ class CPU:
             raise CPUError(
                 "illegal instruction at 0x%04X: %s" % (address, error)
             ) from error
-        return instruction, 2 * consumed
+        size = 2 * consumed
+        text = instruction.render()
+        cycles = instruction.cycles()
+        if cache is not None:
+            cache.store(address, instruction, size, text, cycles)
+        return instruction, size, text, cycles
 
     # ------------------------------------------------------------ memory helpers
 
@@ -327,10 +398,11 @@ class CPU:
             self.pc = (self.pc + instruction.jump_offset) & 0xFFFF
 
     def _jump_condition(self, opcode):
-        c = self.flag(StatusFlag.C)
-        z = self.flag(StatusFlag.Z)
-        n = self.flag(StatusFlag.N)
-        v = self.flag(StatusFlag.V)
+        sr = self.registers[SR]
+        c = bool(sr & _C)
+        z = bool(sr & _Z)
+        n = bool(sr & _N)
+        v = bool(sr & _V)
         if opcode is Opcode.JNE:
             return not z
         if opcode is Opcode.JEQ:
@@ -385,20 +457,28 @@ class CPU:
         if opcode is Opcode.RRA:
             carry = value & 1
             result = ((value & mask) >> 1) | (value & msb)
-            self.set_flag(StatusFlag.C, carry)
-            self.set_flag(StatusFlag.Z, result == 0)
-            self.set_flag(StatusFlag.N, bool(result & msb))
-            self.set_flag(StatusFlag.V, False)
+            sr = self.registers[SR] & _KEEP_NON_ARITH
+            if carry:
+                sr |= _C
+            if result == 0:
+                sr |= _Z
+            if result & msb:
+                sr |= _N
+            self.registers[SR] = sr
             self._write_operand(instruction.src, address, result, byte_mode)
             return
         if opcode is Opcode.RRC:
-            carry_in = msb if self.flag(StatusFlag.C) else 0
+            carry_in = msb if (self.registers[SR] & _C) else 0
             carry_out = value & 1
             result = ((value & mask) >> 1) | carry_in
-            self.set_flag(StatusFlag.C, carry_out)
-            self.set_flag(StatusFlag.Z, result == 0)
-            self.set_flag(StatusFlag.N, bool(result & msb))
-            self.set_flag(StatusFlag.V, False)
+            sr = self.registers[SR] & _KEEP_NON_ARITH
+            if carry_out:
+                sr |= _C
+            if result == 0:
+                sr |= _Z
+            if result & msb:
+                sr |= _N
+            self.registers[SR] = sr
             self._write_operand(instruction.src, address, result, byte_mode)
             return
         raise CPUError("unhandled single-operand opcode %r" % (opcode,))
@@ -428,12 +508,12 @@ class CPU:
         if opcode is Opcode.MOV:
             result = src_value & mask
         elif opcode in (Opcode.ADD, Opcode.ADDC):
-            carry_in = 1 if (opcode is Opcode.ADDC and self.flag(StatusFlag.C)) else 0
+            carry_in = 1 if (opcode is Opcode.ADDC and self.registers[SR] & _C) else 0
             result = self._add_and_set_flags(dst_value, src_value, carry_in, mask, msb)
         elif opcode in (Opcode.SUB, Opcode.SUBC, Opcode.CMP):
             carry_in = 1
             if opcode is Opcode.SUBC:
-                carry_in = 1 if self.flag(StatusFlag.C) else 0
+                carry_in = 1 if self.registers[SR] & _C else 0
             result = self._add_and_set_flags(
                 dst_value, (~src_value) & mask, carry_in, mask, msb
             )
@@ -452,10 +532,16 @@ class CPU:
             result = (dst_value | src_value) & mask
         elif opcode is Opcode.XOR:
             result = (dst_value ^ src_value) & mask
-            self.set_flag(StatusFlag.Z, result == 0)
-            self.set_flag(StatusFlag.N, bool(result & msb))
-            self.set_flag(StatusFlag.C, result != 0)
-            self.set_flag(StatusFlag.V, bool(dst_value & msb) and bool(src_value & msb))
+            sr = self.registers[SR] & _KEEP_NON_ARITH
+            if result == 0:
+                sr |= _Z
+            else:
+                sr |= _C
+            if result & msb:
+                sr |= _N
+            if (dst_value & msb) and (src_value & msb):
+                sr |= _V
+            self.registers[SR] = sr
         else:
             raise CPUError("unhandled double-operand opcode %r" % (opcode,))
 
@@ -465,26 +551,35 @@ class CPU:
     # .......................................................... flag helpers
 
     def _set_logic_flags(self, result, mask, msb):
-        self.set_flag(StatusFlag.Z, (result & mask) == 0)
-        self.set_flag(StatusFlag.N, bool(result & msb))
-        self.set_flag(StatusFlag.C, (result & mask) != 0)
-        self.set_flag(StatusFlag.V, False)
+        sr = self.registers[SR] & _KEEP_NON_ARITH
+        if result & mask:
+            sr |= _C
+        else:
+            sr |= _Z
+        if result & msb:
+            sr |= _N
+        self.registers[SR] = sr
 
     def _add_and_set_flags(self, a, b, carry_in, mask, msb):
         a &= mask
         b &= mask
         total = a + b + carry_in
         result = total & mask
-        self.set_flag(StatusFlag.C, total > mask)
-        self.set_flag(StatusFlag.Z, result == 0)
-        self.set_flag(StatusFlag.N, bool(result & msb))
-        overflow = bool(~(a ^ b) & (a ^ result) & msb)
-        self.set_flag(StatusFlag.V, overflow)
+        sr = self.registers[SR] & _KEEP_NON_ARITH
+        if total > mask:
+            sr |= _C
+        if result == 0:
+            sr |= _Z
+        if result & msb:
+            sr |= _N
+        if ~(a ^ b) & (a ^ result) & msb:
+            sr |= _V
+        self.registers[SR] = sr
         return result
 
     def _decimal_add_and_set_flags(self, a, b, byte_mode):
         digits = 2 if byte_mode else 4
-        carry = 1 if self.flag(StatusFlag.C) else 0
+        carry = 1 if self.registers[SR] & _C else 0
         result = 0
         for digit_index in range(digits):
             shift = 4 * digit_index
@@ -496,7 +591,12 @@ class CPU:
             result |= digit << shift
         mask = 0xFF if byte_mode else 0xFFFF
         msb = 0x80 if byte_mode else 0x8000
-        self.set_flag(StatusFlag.C, bool(carry))
-        self.set_flag(StatusFlag.Z, result == 0)
-        self.set_flag(StatusFlag.N, bool(result & msb))
+        sr = self.registers[SR] & _KEEP_NON_CZN
+        if carry:
+            sr |= _C
+        if result == 0:
+            sr |= _Z
+        if result & msb:
+            sr |= _N
+        self.registers[SR] = sr
         return result & mask

@@ -16,11 +16,11 @@ simulated step, including the *next* program-counter value so that
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemoryWrite:
     """One data-memory write performed during a step."""
 
@@ -29,7 +29,7 @@ class MemoryWrite:
     size: int = 2
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemoryRead:
     """One data-memory read performed during a step."""
 
@@ -38,7 +38,7 @@ class MemoryRead:
     size: int = 2
 
 
-@dataclass
+@dataclass(slots=True)
 class SignalBundle:
     """The monitor-visible signals for a single simulated step.
 
@@ -52,6 +52,9 @@ class SignalBundle:
     ``dma_en`` / ``dma_writes``.
     """
 
+    # The access sequences default to a shared empty tuple rather than a
+    # fresh list: bundles are created once per simulated step, and the
+    # common no-access step should not allocate four empty lists.
     cycle: int = 0
     pc: int = 0
     next_pc: int = 0
@@ -61,11 +64,11 @@ class SignalBundle:
     cpu_off: bool = False
     reset: bool = False
     instruction: Optional[str] = None
-    writes: List[MemoryWrite] = field(default_factory=list)
-    reads: List[MemoryRead] = field(default_factory=list)
+    writes: Sequence[MemoryWrite] = ()
+    reads: Sequence[MemoryRead] = ()
     dma_en: bool = False
-    dma_writes: List[MemoryWrite] = field(default_factory=list)
-    dma_reads: List[MemoryRead] = field(default_factory=list)
+    dma_writes: Sequence[MemoryWrite] = ()
+    dma_reads: Sequence[MemoryRead] = ()
     cycles_consumed: int = 1
 
     # ----------------------------------------------------- monitor helpers

@@ -8,11 +8,13 @@ per-step signal bundle, and records traces that the waveform benches
 turn into the paper's Fig. 5.
 """
 
+from repro.cpu.decode_cache import DecodeCache
 from repro.device.trace import TraceRecorder, TraceEntry, Waveform
 from repro.device.mcu import Device, DeviceConfig, ScheduledEvent
 from repro.device.vcd import VcdWriter, export_vcd
 
 __all__ = [
+    "DecodeCache",
     "TraceRecorder",
     "TraceEntry",
     "Waveform",

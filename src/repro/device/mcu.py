@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.cpu.core import CPU, CPUError
+from repro.cpu.decode_cache import DecodeCache
 from repro.cpu.signals import MemoryWrite, SignalBundle
 from repro.device.trace import TraceRecorder
 from repro.memory.ivt import InterruptVectorTable
@@ -35,11 +36,22 @@ class DeviceConfig:
     ``stack_top`` is where the reset sequence points SP (top of data
     memory by default); ``trace_enabled`` controls whether every step is
     recorded (benches measuring raw simulation speed can turn it off).
+
+    ``decode_cache_enabled`` (default on) attaches a
+    :class:`~repro.cpu.decode_cache.DecodeCache` to the CPU so hot loops
+    skip re-decoding; every memory mutation (CPU, DMA and load-time
+    programming) invalidates overlapping entries, so self-modifying code
+    -- including the attack gallery's ER/IVT rewrites -- always executes
+    fresh bytes.  ``trace_limit`` bounds the trace recorder to the last
+    *N* entries (ring-buffer style) so crashed or soak runs cannot grow
+    memory without limit; ``None`` keeps the full trace.
     """
 
     layout: MemoryLayout = field(default_factory=MemoryLayout.default)
     stack_top: Optional[int] = None
     trace_enabled: bool = True
+    decode_cache_enabled: bool = True
+    trace_limit: Optional[int] = None
 
     def resolved_stack_top(self):
         """Return the effective initial stack pointer."""
@@ -67,7 +79,13 @@ class Device:
         self.layout = self.config.layout
         self.memory = Memory()
         self.ivt = InterruptVectorTable(self.memory)
-        self.cpu = CPU(self.memory, self.ivt)
+        self.decode_cache = DecodeCache() if self.config.decode_cache_enabled else None
+        if self.decode_cache is not None:
+            # Every mutation path (CPU/DMA bus writes, load-time
+            # programming, reflashing) reports through this hook, so
+            # cached decodes can never go stale.
+            self.memory.add_write_listener(self.decode_cache.invalidate_range)
+        self.cpu = CPU(self.memory, self.ivt, decode_cache=self.decode_cache)
 
         self.interrupt_controller = InterruptController()
         self.gpio1 = GpioPort(
@@ -92,8 +110,37 @@ class Device:
         for peripheral in self.peripherals:
             self.interrupt_controller.attach(peripheral)
 
+        # --- quiescence-based fast loop wiring -------------------------
+        # While every peripheral is quiescent and no interrupt is
+        # pending, the step loop skips the per-step peripheral ticks and
+        # interrupt arbitration entirely.  Anything that could change
+        # that -- a write into the peripheral register page, a scheduled
+        # event, an externally received UART byte, an injected interrupt
+        # request, or a serviced one -- raises ``_periph_dirty`` again.
+        self._periph_dirty = True
+        peripheral_page_end = 0x01FF
+
+        def wake(address=None, length=None, _self=self, _end=peripheral_page_end):
+            if address is None or address <= _end:
+                _self._periph_dirty = True
+
+        self.memory.add_write_listener(wake)
+        self.interrupt_controller.on_change = wake
+        for peripheral in self.peripherals:
+            peripheral.external_wake = wake
+        cpu = self.cpu
+        self.gpio1.cycle_source = lambda: cpu.cycle_count
+        self.gpio5.cycle_source = lambda: cpu.cycle_count
+
         self.monitors: List[object] = []
-        self.trace = TraceRecorder(enabled=self.config.trace_enabled)
+        #: Monitors exporting ``signal_values()``; maintained by
+        #: attach/detach so the step loop can skip the per-step signal
+        #: dict entirely when nothing would populate it.
+        self._signal_exporters: List[object] = []
+        self.trace = TraceRecorder(
+            enabled=self.config.trace_enabled,
+            max_entries=self.config.trace_limit,
+        )
         self._events: List[ScheduledEvent] = []
         self._last_step_cycles = 0
         self.step_number = 0
@@ -109,20 +156,28 @@ class Device:
     def attach_monitor(self, monitor):
         """Attach a hardware monitor (an object with ``observe(bundle)``)."""
         self.monitors.append(monitor)
+        if hasattr(monitor, "signal_values"):
+            self._signal_exporters.append(monitor)
         return monitor
 
     def detach_monitor(self, monitor):
         """Remove a previously attached monitor."""
         self.monitors.remove(monitor)
+        if monitor in self._signal_exporters:
+            self._signal_exporters.remove(monitor)
 
     def load_image(self, image):
         """Flash an :class:`~repro.isa.assembler.AssembledImage` into memory."""
         image.write_to(self.memory)
 
     def reset(self):
-        """Reset peripherals, CPU (PC from reset vector) and monitors."""
+        """Reset peripherals, interrupt controller, CPU and monitors."""
         for peripheral in self.peripherals:
             peripheral.reset()
+        # Injected (including sticky) interrupt requests and serviced
+        # counts must not survive a reset, or a scenario reset would
+        # immediately re-service a stale spoofed IRQ.
+        self.interrupt_controller.reset()
         self.cpu.reset(stack_top=self.config.resolved_stack_top())
         for monitor in self.monitors:
             if hasattr(monitor, "reset"):
@@ -133,6 +188,7 @@ class Device:
         self.step_number = 0
         self.crashed = False
         self.crash_reason = ""
+        self._periph_dirty = True
 
     def schedule(self, step, action, label=""):
         """Schedule *action(device)* to run just before step number *step*."""
@@ -160,12 +216,22 @@ class Device:
         self.step_number += 1
         if self.crashed:
             return self._crash_bundle()
-        self._fire_events()
+        if self._events:
+            self._fire_events()
 
-        for peripheral in self.peripherals:
-            peripheral.tick(self._last_step_cycles)
-
-        pending = self.interrupt_controller.highest_pending()
+        if self._periph_dirty:
+            elapsed = self._last_step_cycles
+            for peripheral in self.peripherals:
+                peripheral.tick(elapsed)
+            pending = self.interrupt_controller.highest_pending()
+            if pending is None and all(
+                peripheral.quiescent() for peripheral in self.peripherals
+            ):
+                # Nothing can change until a wake signal fires; stop
+                # ticking (see the wiring in __init__).
+                self._periph_dirty = False
+        else:
+            pending = None
         try:
             result = self.cpu.step(pending)
         except CPUError as error:
@@ -175,22 +241,30 @@ class Device:
         bundle = result.bundle
         self._last_step_cycles = bundle.cycles_consumed
 
-        dma_reads, dma_writes = self.dma.collect_activity()
-        if dma_reads or dma_writes:
+        dma = self.dma
+        if dma._step_reads or dma._step_writes:
             bundle.dma_en = True
-            bundle.dma_reads = dma_reads
-            bundle.dma_writes = dma_writes
+            bundle.dma_reads = dma._step_reads
+            bundle.dma_writes = dma._step_writes
 
         if result.serviced_interrupt is not None:
             self.interrupt_controller.acknowledge(result.serviced_interrupt)
+            self._periph_dirty = True
 
-        monitor_signals: Dict[str, int] = {}
-        for monitor in self.monitors:
-            monitor.observe(bundle)
-            if hasattr(monitor, "signal_values"):
-                monitor_signals.update(monitor.signal_values())
-
-        self.trace.record(bundle, monitor_signals)
+        trace = self.trace
+        if self._signal_exporters:
+            monitor_signals: Dict[str, int] = {}
+            for monitor in self.monitors:
+                monitor.observe(bundle)
+                if hasattr(monitor, "signal_values"):
+                    monitor_signals.update(monitor.signal_values())
+            trace.record(bundle, monitor_signals)
+        else:
+            # Fast path: no monitor exports signals, so skip the
+            # per-step dict churn (and the hasattr probes) entirely.
+            for monitor in self.monitors:
+                monitor.observe(bundle)
+            trace.record(bundle)
         return bundle
 
     def _fire_events(self):
@@ -198,6 +272,9 @@ class Device:
             if not event.fired and event.step <= self.step_number:
                 event.fired = True
                 event.action(self)
+                # Events run arbitrary actions; conservatively leave the
+                # quiescent fast loop so their effects are picked up.
+                self._periph_dirty = True
 
     def _crash_bundle(self):
         """Synthetic bundle emitted once the device has crashed."""
@@ -219,8 +296,9 @@ class Device:
         Returns the number of steps executed.
         """
         executed = 0
+        step = self.step
         for _ in range(max_steps):
-            bundle = self.step()
+            bundle = step()
             executed += 1
             if self.crashed:
                 break
@@ -232,19 +310,29 @@ class Device:
         """Run until the program counter reaches *address*.
 
         Returns ``True`` if the address was reached within *max_steps*.
+        A crash before reaching the target returns ``False`` (unless the
+        crash happened at the target address itself): the early ``break``
+        of the run loop must not masquerade as success.
         """
         target = address & 0xFFFF
+        found = False
 
         def reached(bundle, _device):
-            return bundle.next_pc == target or bundle.pc == target
+            nonlocal found
+            if bundle.next_pc == target or bundle.pc == target:
+                found = True
+            return found
 
-        executed = self.run(max_steps=max_steps, stop_condition=reached)
-        return executed < max_steps or self.cpu.pc == target
+        self.run(max_steps=max_steps, stop_condition=reached)
+        if self.crashed:
+            return found or self.cpu.pc == target
+        return found
 
     def run_steps(self, count):
         """Run exactly *count* steps."""
+        step = self.step
         for _ in range(count):
-            self.step()
+            step()
 
     # ------------------------------------------------------------ helpers
 

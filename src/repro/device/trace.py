@@ -10,13 +10,14 @@ series and an ASCII rendering that the benches print.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.cpu.signals import SignalBundle
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceEntry:
     """One recorded simulation step."""
 
@@ -47,18 +48,35 @@ class TraceEntry:
 
 
 class TraceRecorder:
-    """Accumulates :class:`TraceEntry` records during a simulation run."""
+    """Accumulates :class:`TraceEntry` records during a simulation run.
 
-    def __init__(self, enabled=True):
+    ``max_entries`` turns the recorder into a bounded ring buffer: only
+    the most recent *N* entries are kept and ``dropped`` counts how many
+    older ones were discarded, so long crashed or soak runs can record
+    forever without growing memory without limit.
+    """
+
+    def __init__(self, enabled=True, max_entries=None):
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError("max_entries must be positive or None")
         self.enabled = enabled
-        self.entries: List[TraceEntry] = []
+        self.max_entries = max_entries
+        self.entries = self._make_buffer()
+        self.dropped = 0
         self._total_cycles = 0
+
+    def _make_buffer(self):
+        if self.max_entries is None:
+            return []
+        return deque(maxlen=self.max_entries)
 
     def record(self, bundle: SignalBundle, monitor_signals=None):
         """Record one step from *bundle* plus monitor-exported signals."""
         self._total_cycles += bundle.cycles_consumed
         if not self.enabled:
             return
+        if self.max_entries is not None and len(self.entries) == self.max_entries:
+            self.dropped += 1
         self.entries.append(
             TraceEntry(
                 step=bundle.cycle,
@@ -74,7 +92,8 @@ class TraceRecorder:
 
     def clear(self):
         """Drop all recorded entries."""
-        self.entries = []
+        self.entries = self._make_buffer()
+        self.dropped = 0
         self._total_cycles = 0
 
     @property
@@ -161,14 +180,20 @@ class Waveform:
                 lines.append("%-8s %s" % (name, body))
             else:
                 markers = []
+                changes = []
                 previous = None
-                for value in series:
-                    markers.append("|" if value != previous else ".")
+                for column, value in enumerate(series):
+                    changed = value != previous
+                    markers.append("|" if changed else ".")
+                    # Annotate with the *sampled* step index (column *
+                    # stride) so the label matches the marker column even
+                    # when the series is strided down to fit max_width.
+                    if changed and previous is not None:
+                        changes.append((column * stride, value))
                     previous = value
                 lines.append("%-8s %s" % (name, "".join(markers)))
-                changes = self.transitions(name)
                 annotation = ", ".join(
-                    "step %d: 0x%04X" % (index, new) for index, _, new in changes[:8]
+                    "step %d: 0x%04X" % (step, new) for step, new in changes[:8]
                 )
                 if annotation:
                     lines.append("         (%s)" % annotation)

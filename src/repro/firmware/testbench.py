@@ -51,6 +51,10 @@ class TestbenchConfig:
     enable_port1_interrupts: bool = True
     enable_uart_rx_interrupts: bool = False
     trace_enabled: bool = True
+    #: Forwarded to :class:`~repro.device.mcu.DeviceConfig`: the decoded-
+    #: instruction cache (on by default) and the optional trace bound.
+    decode_cache_enabled: bool = True
+    trace_limit: Optional[int] = None
 
     def __post_init__(self):
         if self.architecture not in ("asap", "apex"):
@@ -65,7 +69,11 @@ class PoxTestbench:
         self.spec = firmware
         self.config = config or TestbenchConfig()
 
-        self.device = Device(DeviceConfig(trace_enabled=self.config.trace_enabled))
+        self.device = Device(DeviceConfig(
+            trace_enabled=self.config.trace_enabled,
+            decode_cache_enabled=self.config.decode_cache_enabled,
+            trace_limit=self.config.trace_limit,
+        ))
         self.linker = ErLinker(layout=self.device.layout, er_base=self.config.er_base)
         self.firmware = self.linker.link(
             firmware.source,

@@ -38,6 +38,13 @@ class Memory:
     ``load_bytes``/``load_words`` model load-time programming (flashing)
     and bypass the watcher hooks; ``read_*``/``write_*`` model run-time
     bus traffic.
+
+    Besides the (heavyweight, debug-oriented) watcher hooks, the memory
+    offers a *write-listener* path: a listener is called as
+    ``listener(address, length)`` for **every** mutation, including
+    load-time programming and DMA stores, with no per-access object
+    allocation.  The decoded-instruction cache uses it to invalidate
+    entries covering rewritten code.
     """
 
     def __init__(self, size=ADDRESS_SPACE_SIZE, fill=0x00):
@@ -46,6 +53,7 @@ class Memory:
         self._data = bytearray([fill & 0xFF]) * size
         self._size = size
         self._watchers: List[Callable[[MemoryAccess], None]] = []
+        self._write_listeners: List[Callable[[int, int], None]] = []
 
     # ------------------------------------------------------------ watchers
 
@@ -60,6 +68,25 @@ class Memory:
     def _notify(self, access):
         for watcher in self._watchers:
             watcher(access)
+
+    # ------------------------------------------------------- write listeners
+
+    def add_write_listener(self, callback):
+        """Register ``callback(address, length)`` for every mutation.
+
+        Unlike watchers, write listeners also fire for load-time
+        programming (``load_bytes``/``load_word``/``fill``) so caches of
+        decoded memory contents can never go stale.
+        """
+        self._write_listeners.append(callback)
+
+    def remove_write_listener(self, callback):
+        """Remove a previously registered write listener."""
+        self._write_listeners.remove(callback)
+
+    def _notify_write(self, address, length):
+        for listener in self._write_listeners:
+            listener(address, length)
 
     # -------------------------------------------------------------- checks
 
@@ -83,7 +110,8 @@ class Memory:
         """Read one byte."""
         address = self._check(address, 1)
         value = self._data[address]
-        self._notify(MemoryAccess(address, value, 1, False, initiator))
+        if self._watchers:
+            self._notify(MemoryAccess(address, value, 1, False, initiator))
         return value
 
     def write_byte(self, address, value, initiator="cpu"):
@@ -91,13 +119,17 @@ class Memory:
         address = self._check(address, 1)
         value &= 0xFF
         self._data[address] = value
-        self._notify(MemoryAccess(address, value, 1, True, initiator))
+        if self._watchers:
+            self._notify(MemoryAccess(address, value, 1, True, initiator))
+        if self._write_listeners:
+            self._notify_write(address, 1)
 
     def read_word(self, address, initiator="cpu"):
         """Read a 16-bit little-endian word (address is forced even)."""
         address = self._check(address & 0xFFFE, 2)
         value = self._data[address] | (self._data[address + 1] << 8)
-        self._notify(MemoryAccess(address, value, 2, False, initiator))
+        if self._watchers:
+            self._notify(MemoryAccess(address, value, 2, False, initiator))
         return value
 
     def write_word(self, address, value, initiator="cpu"):
@@ -106,7 +138,10 @@ class Memory:
         value &= 0xFFFF
         self._data[address] = value & 0xFF
         self._data[address + 1] = (value >> 8) & 0xFF
-        self._notify(MemoryAccess(address, value, 2, True, initiator))
+        if self._watchers:
+            self._notify(MemoryAccess(address, value, 2, True, initiator))
+        if self._write_listeners:
+            self._notify_write(address, 2)
 
     # ------------------------------------------------------------ programming
 
@@ -114,20 +149,33 @@ class Memory:
         """Store *data* starting at *address* without watcher notification."""
         address = self._check(address, max(len(data), 1))
         self._data[address : address + len(data)] = bytes(data)
+        if self._write_listeners:
+            self._notify_write(address, len(data))
 
     def load_word(self, address, value):
         """Store a single word at load time."""
         address = self._check(address & 0xFFFE, 2)
         self._data[address] = value & 0xFF
         self._data[address + 1] = (value >> 8) & 0xFF
+        if self._write_listeners:
+            self._notify_write(address, 2)
 
     def peek_byte(self, address):
         """Read one byte without watcher notification (debug/attestation)."""
+        # Hot path (CPU fetch, peripheral register polls): inline the
+        # bounds check instead of calling _check.
+        address &= ADDRESS_MASK
+        if address < self._size:
+            return self._data[address]
         return self._data[self._check(address, 1)]
 
     def peek_word(self, address):
         """Read one word without watcher notification (debug/attestation)."""
-        address = self._check(address & 0xFFFE, 2)
+        address &= 0xFFFE
+        if address + 2 <= self._size:
+            data = self._data
+            return data[address] | (data[address + 1] << 8)
+        address = self._check(address, 2)
         return self._data[address] | (self._data[address + 1] << 8)
 
     def dump(self, start, length):
@@ -143,3 +191,5 @@ class Memory:
         """Fill ``length`` bytes from ``start`` with *value* (load-time)."""
         start = self._check(start, max(length, 1))
         self._data[start : start + length] = bytes([value & 0xFF]) * length
+        if self._write_listeners:
+            self._notify_write(start, length)

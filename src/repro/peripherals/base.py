@@ -9,6 +9,19 @@ Peripheral-internal register updates use the memory's load-time store so
 they do not appear as CPU or DMA bus traffic to the security monitors
 (on the real device they happen inside the peripheral, not on the
 monitored data bus).
+
+Tick fast path
+--------------
+
+:meth:`tick` and :meth:`interrupt_pending` run once per simulated step
+for every peripheral, so re-reading the memory-mapped registers each
+time dominates the cost of an otherwise idle peripheral.  Subclasses
+call :meth:`_watch_registers` to register a dirty flag with the memory's
+write-listener hook: any mutation of the watched address range (CPU or
+DMA bus write *or* load-time store) sets ``_regs_dirty``, and the tick
+can return immediately while the flag is clear and the peripheral has no
+internal work pending.  The flag starts dirty so the first tick always
+evaluates the registers.
 """
 
 from __future__ import annotations
@@ -25,6 +38,28 @@ class Peripheral:
     def __init__(self, memory, name):
         self.memory = memory
         self.name = name
+        #: Set whenever a watched register is written; see module docstring.
+        self._regs_dirty = True
+        #: Optional callback for stimuli that do not touch memory (e.g.
+        #: UART bytes arriving on the wire).  The owning device installs
+        #: it so its quiescence-based fast loop wakes up.
+        self.external_wake = None
+
+    def _watch_registers(self, *addresses):
+        """Mark this peripheral dirty on writes to any watched address.
+
+        The watch is a single ``[min, max]`` span, so unrelated writes
+        that happen to fall between two registers cause a harmless
+        spurious re-evaluation, never a missed one.
+        """
+        lo = min(addresses)
+        hi = max(addresses)
+
+        def on_write(address, length, lo=lo, hi=hi, peripheral=self):
+            if address <= hi and address + length > lo:
+                peripheral._regs_dirty = True
+
+        self.memory.add_write_listener(on_write)
 
     # ------------------------------------------------------------ register io
 
@@ -59,6 +94,19 @@ class Peripheral:
 
     def tick(self, elapsed_cycles):
         """Advance the peripheral by *elapsed_cycles* CPU cycles."""
+
+    def quiescent(self):
+        """``True`` when skipping this peripheral's tick is unobservable.
+
+        A quiescent peripheral promises that, until one of its watched
+        registers is written or an external stimulus arrives (both of
+        which raise flags the device listens to), its :meth:`tick` would
+        neither change any state nor depend on the elapsed cycles.  The
+        device's fast run loop stops ticking peripherals entirely while
+        all of them are quiescent.  The conservative default is ``False``
+        (always tick).
+        """
+        return False
 
     def interrupt_pending(self):
         """Return ``True`` if the peripheral is requesting an interrupt."""

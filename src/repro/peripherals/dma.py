@@ -37,6 +37,8 @@ class DmaController(Peripheral):
         self._pending_interrupt = False
         self._step_reads: List[MemoryRead] = []
         self._step_writes: List[MemoryWrite] = []
+        self._watch_registers(PeripheralRegisters.DMA0CTL,
+                              PeripheralRegisters.DMA0SZ + 1)
 
     def reset(self):
         for register in (
@@ -76,17 +78,28 @@ class DmaController(Peripheral):
 
     # ------------------------------------------------------------ peripheral
 
-    def tick(self, elapsed_cycles):
-        self._step_reads = []
-        self._step_writes = []
-        control = self._read_word(PeripheralRegisters.DMA0CTL)
+    def quiescent(self):
+        return (not self._regs_dirty and not self._active
+                and not self._step_reads and not self._step_writes)
 
-        if not self._active and (control & DmaBits.EN) and (control & DmaBits.REQ):
-            self._source = self._read_word(PeripheralRegisters.DMA0SA)
-            self._destination = self._read_word(PeripheralRegisters.DMA0DA)
-            self._remaining = self._read_word(PeripheralRegisters.DMA0SZ)
-            self._active = self._remaining > 0
-            self._clear_bits_word(PeripheralRegisters.DMA0CTL, DmaBits.REQ)
+    def tick(self, elapsed_cycles):
+        # The per-step activity lists were handed over to the signal
+        # bundle; rebind (rather than clear) so the old ones survive.
+        if self._step_reads:
+            self._step_reads = []
+        if self._step_writes:
+            self._step_writes = []
+        if not self._active:
+            if not self._regs_dirty:
+                return
+            self._regs_dirty = False
+            control = self._read_word(PeripheralRegisters.DMA0CTL)
+            if (control & DmaBits.EN) and (control & DmaBits.REQ):
+                self._source = self._read_word(PeripheralRegisters.DMA0SA)
+                self._destination = self._read_word(PeripheralRegisters.DMA0DA)
+                self._remaining = self._read_word(PeripheralRegisters.DMA0SZ)
+                self._active = self._remaining > 0
+                self._clear_bits_word(PeripheralRegisters.DMA0CTL, DmaBits.REQ)
 
         if not self._active:
             return
@@ -105,8 +118,13 @@ class DmaController(Peripheral):
             self._pending_interrupt = True
 
     def collect_activity(self):
-        """Return ``(reads, writes)`` performed during the last tick."""
-        return list(self._step_reads), list(self._step_writes)
+        """Return ``(reads, writes)`` performed during the last tick.
+
+        The lists are handed over without copying: :meth:`tick` rebinds
+        fresh lists at the start of the next tick, so callers may keep
+        them (e.g. inside a signal bundle).
+        """
+        return self._step_reads, self._step_writes
 
     def interrupt_pending(self):
         return self._pending_interrupt

@@ -31,6 +31,15 @@ class GpioPort(Peripheral):
         self.output_history: List[Tuple[int, int]] = []
         self._elapsed = 0
         self._last_output: Optional[int] = None
+        self._pending = False
+        #: Optional zero-argument callable returning the current total
+        #: CPU cycle count.  When installed (by the device), the port
+        #: timestamps output changes from it instead of accumulating the
+        #: per-tick elapsed cycles, so ticks may be skipped while the
+        #: registers are clean.
+        self.cycle_source = None
+        self._watch_registers(in_address, out_address, dir_address,
+                              ifg_address, ie_address)
 
     def reset(self):
         for address in (self.in_address, self.out_address, self.dir_address,
@@ -39,6 +48,7 @@ class GpioPort(Peripheral):
         self.output_history = []
         self._elapsed = 0
         self._last_output = None
+        self._pending = False
 
     # ------------------------------------------------------------ external
 
@@ -75,19 +85,43 @@ class GpioPort(Peripheral):
 
     # ------------------------------------------------------------ peripheral
 
+    def quiescent(self):
+        # With a cycle source installed the elapsed-cycle argument is
+        # not needed either, so a clean-register tick is a no-op.
+        return not self._regs_dirty and self.cycle_source is not None
+
     def tick(self, elapsed_cycles):
-        self._elapsed += elapsed_cycles
-        value = self.output_value()
+        if self.cycle_source is None:
+            self._elapsed += elapsed_cycles
+        if not self._regs_dirty:
+            return
+        self._regs_dirty = False
+        if self.cycle_source is not None:
+            # Equals the sum of every elapsed_cycles delivered so far
+            # (ticks run before the CPU executes), including any ticks
+            # skipped while the port was quiescent.
+            self._elapsed = self.cycle_source()
+        value = self._read_byte(self.out_address)
         if value != self._last_output:
             self.output_history.append((self._elapsed, value))
             self._last_output = value
+        self._recompute_pending()
 
-    def interrupt_pending(self):
+    def _recompute_pending(self):
         if self.ivt_index is None:
-            return False
+            self._pending = False
+            return
         flags = self._read_byte(self.ifg_address)
         enabled = self._read_byte(self.ie_address)
-        return bool(flags & enabled)
+        self._pending = bool(flags & enabled)
+
+    def interrupt_pending(self):
+        # Registers written since the last tick (e.g. a direct
+        # assert_input in a test) are folded in before answering; the
+        # dirty flag is left set so the next tick still sees them.
+        if self._regs_dirty:
+            self._recompute_pending()
+        return self._pending
 
     def acknowledge_interrupt(self):
         """Clear the highest set interrupt flag when the CPU services it.

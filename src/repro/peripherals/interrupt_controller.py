@@ -37,11 +37,26 @@ class InterruptController:
         self._injected: Dict[int, InterruptSource] = {}
         #: Count of serviced interrupts per IVT index (for tests/benches).
         self.serviced: Dict[int, int] = {}
+        #: Optional callback invoked whenever the set of injected
+        #: requests changes (the device uses it to leave its quiescent
+        #: fast loop).
+        self.on_change = None
 
     def attach(self, peripheral):
         """Register *peripheral* as an interrupt source."""
         if peripheral.ivt_index is not None:
             self._peripherals.append(peripheral)
+
+    def reset(self):
+        """Drop all injected requests (sticky included) and serviced counts.
+
+        Called on device reset: a power cycle clears latched request
+        lines, so a stale spoofed IRQ must not be re-serviced after the
+        scenario resets the device.  Attached peripherals stay attached;
+        their own pending state is cleared by their ``reset()``.
+        """
+        self._injected.clear()
+        self.serviced.clear()
 
     def inject(self, ivt_index, sticky=False, label=""):
         """Inject a pending interrupt for *ivt_index*.
@@ -50,6 +65,8 @@ class InterruptController:
         a stuck request line); normal requests clear once serviced.
         """
         self._injected[ivt_index] = InterruptSource(ivt_index, sticky, label)
+        if self.on_change is not None:
+            self.on_change()
 
     def clear_injected(self, ivt_index=None):
         """Clear one injected request, or all of them."""
@@ -57,6 +74,8 @@ class InterruptController:
             self._injected.clear()
         else:
             self._injected.pop(ivt_index, None)
+        if self.on_change is not None:
+            self.on_change()
 
     def pending_sources(self):
         """Return the sorted list of IVT indexes currently requesting."""
@@ -67,9 +86,17 @@ class InterruptController:
         return sorted(pending)
 
     def highest_pending(self):
-        """Return the highest-priority pending IVT index, or ``None``."""
-        pending = self.pending_sources()
-        return pending[-1] if pending else None
+        """Return the highest-priority pending IVT index, or ``None``.
+
+        Runs once per simulated step, so it avoids building the sorted
+        list of :meth:`pending_sources`; lower-priority peripherals are
+        not even polled (``interrupt_pending`` is a pure read).
+        """
+        best = max(self._injected) if self._injected else -1
+        for peripheral in self._peripherals:
+            if peripheral.ivt_index > best and peripheral.interrupt_pending():
+                best = peripheral.ivt_index
+        return best if best >= 0 else None
 
     def acknowledge(self, ivt_index):
         """Tell the source of *ivt_index* that the CPU serviced it."""

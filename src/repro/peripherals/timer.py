@@ -20,6 +20,10 @@ class TimerA(Peripheral):
     def __init__(self, memory, name="timer_a"):
         super().__init__(memory, name)
         self._pending = False
+        self._enabled_cache = False
+        self._regs_pending = False
+        self._watch_registers(PeripheralRegisters.TACTL, PeripheralRegisters.TACCTL0,
+                              PeripheralRegisters.TAR, PeripheralRegisters.TACCR0)
 
     def reset(self):
         self._store_word(PeripheralRegisters.TACTL, 0)
@@ -27,6 +31,8 @@ class TimerA(Peripheral):
         self._store_word(PeripheralRegisters.TAR, 0)
         self._store_word(PeripheralRegisters.TACCR0, 0)
         self._pending = False
+        self._enabled_cache = False
+        self._regs_pending = False
 
     # ------------------------------------------------------------ state
 
@@ -52,12 +58,21 @@ class TimerA(Peripheral):
 
     # ------------------------------------------------------------ peripheral
 
+    def quiescent(self):
+        # A disabled timer neither counts nor raises interrupts; its
+        # state can only change through a register write.
+        return not self._regs_dirty and not self._enabled_cache
+
     def tick(self, elapsed_cycles):
-        control = self._read_word(PeripheralRegisters.TACTL)
-        if control & TimerBits.CLEAR:
-            self._store_word(PeripheralRegisters.TAR, 0)
-            self._clear_bits_word(PeripheralRegisters.TACTL, TimerBits.CLEAR)
-        if not control & TimerBits.ENABLE:
+        if self._regs_dirty:
+            self._regs_dirty = False
+            control = self._read_word(PeripheralRegisters.TACTL)
+            if control & TimerBits.CLEAR:
+                self._store_word(PeripheralRegisters.TAR, 0)
+                self._clear_bits_word(PeripheralRegisters.TACTL, TimerBits.CLEAR)
+            self._enabled_cache = bool(control & TimerBits.ENABLE)
+            self._recompute_regs_pending()
+        if not self._enabled_cache:
             return
         counter = self._read_word(PeripheralRegisters.TAR)
         compare = self._read_word(PeripheralRegisters.TACCR0)
@@ -70,13 +85,23 @@ class TimerA(Peripheral):
                 self._pending = True
         self._store_word(PeripheralRegisters.TAR, counter & 0xFFFF)
 
+    def _recompute_regs_pending(self):
+        # Firmware may set CCIFG directly (or it may still be set from a
+        # previous expiry that was never serviced); CCIE lives in the
+        # same register.
+        flags = self._read_word(PeripheralRegisters.TACCTL0)
+        self._regs_pending = bool(flags & TimerBits.CCIFG) and bool(
+            flags & TimerBits.CCIE
+        )
+
     def interrupt_pending(self):
         if self._pending:
             return True
-        # Firmware may also set CCIFG directly (or it may still be set
-        # from a previous expiry that was never serviced).
-        flags = self._read_word(PeripheralRegisters.TACCTL0)
-        return bool(flags & TimerBits.CCIFG) and self.interrupt_enabled
+        if self._regs_dirty:
+            # Writes since the last tick are folded in before answering;
+            # the dirty flag stays set for the next tick.
+            self._recompute_regs_pending()
+        return self._regs_pending
 
     def acknowledge_interrupt(self):
         """CCR0 interrupts are auto-cleared when serviced (as on MSP430)."""

@@ -35,6 +35,10 @@ class Uart(Peripheral):
         #: Every byte the firmware transmitted, in order.
         self.tx_log: List[int] = []
         self._last_tx_seen = 0
+        self._pending = False
+        self._watch_registers(PeripheralRegisters.UCTL, PeripheralRegisters.URCTL,
+                              PeripheralRegisters.URXBUF, PeripheralRegisters.UTXBUF,
+                              PeripheralRegisters.URXIFG, PeripheralRegisters.UTXIFG)
 
     def reset(self):
         self._store_byte(PeripheralRegisters.UCTL, 0)
@@ -46,12 +50,15 @@ class Uart(Peripheral):
         self._rx_queue.clear()
         self.tx_log = []
         self._last_tx_seen = 0
+        self._pending = False
 
     # ------------------------------------------------------------ external
 
     def receive_byte(self, value):
         """Queue one byte as if it arrived on the wire."""
         self._rx_queue.append(value & 0xFF)
+        if self.external_wake is not None:
+            self.external_wake()
 
     def receive_bytes(self, data):
         """Queue an entire byte string."""
@@ -64,7 +71,13 @@ class Uart(Peripheral):
 
     # ------------------------------------------------------------ peripheral
 
+    def quiescent(self):
+        return not self._regs_dirty and not self._rx_queue
+
     def tick(self, elapsed_cycles):
+        if not self._regs_dirty and not self._rx_queue:
+            return
+        self._regs_dirty = False
         # Latch a queued RX byte into the buffer when the previous one
         # has been consumed (RX flag cleared by firmware or acknowledge).
         rx_flag = self._read_byte(PeripheralRegisters.URXIFG)
@@ -79,11 +92,17 @@ class Uart(Peripheral):
         if tx_strobe:
             self.tx_log.append(tx_value)
             self._store_byte(PeripheralRegisters.UTXIFG, 0)
+        self._recompute_pending()
 
-    def interrupt_pending(self):
+    def _recompute_pending(self):
         enabled = self._read_byte(PeripheralRegisters.URCTL) & RX_INTERRUPT_ENABLE
         flag = self._read_byte(PeripheralRegisters.URXIFG) & RX_FLAG
-        return bool(enabled and flag)
+        self._pending = bool(enabled and flag)
+
+    def interrupt_pending(self):
+        if self._regs_dirty:
+            self._recompute_pending()
+        return self._pending
 
     def acknowledge_interrupt(self):
         """The RX flag is cleared when the buffer is read; the ISR does that.

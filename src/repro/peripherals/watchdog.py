@@ -25,11 +25,14 @@ class Watchdog(Peripheral):
         self.interval = interval
         self._remaining = interval
         self._expired = False
+        self._held_cache = False
+        self._watch_registers(PeripheralRegisters.WDTCTL, PeripheralRegisters.WDTCTL + 1)
 
     def reset(self):
         self._store_word(PeripheralRegisters.WDTCTL, 0)
         self._remaining = self.interval
         self._expired = False
+        self._held_cache = False
 
     @property
     def held(self):
@@ -46,8 +49,16 @@ class Watchdog(Peripheral):
         """Reload the counter (firmware writes the clear bit on hardware)."""
         self._remaining = self.interval
 
+    def quiescent(self):
+        # Held or already expired: the countdown is frozen, so elapsed
+        # cycles are irrelevant until WDTCTL is written again.
+        return not self._regs_dirty and (self._held_cache or self._expired)
+
     def tick(self, elapsed_cycles):
-        if self.held or self._expired:
+        if self._regs_dirty:
+            self._regs_dirty = False
+            self._held_cache = self.held
+        if self._held_cache or self._expired:
             return
         self._remaining -= elapsed_cycles
         if self._remaining <= 0:

@@ -1,0 +1,104 @@
+"""Differential tests: the decode cache must be observably invisible.
+
+Every firmware image is run twice -- decode cache enabled and disabled
+-- through the full proof-of-execution exchange, with asynchronous
+events (button presses, UART bytes, DMA) firing mid-run.  The recorded
+traces, including every monitor-exported signal, must match entry for
+entry, and the protocol outcome must be identical.  This is the
+guarantee the hardware monitors rely on: a cache hit produces the same
+signal bundle, byte for byte, as a cold decode.
+"""
+
+import pytest
+
+from repro.firmware.attacks import attack_suite
+from repro.firmware.blinker import blinker_firmware
+from repro.firmware.sensor_logger import sensor_logger_firmware
+from repro.firmware.syringe_pump import (
+    PumpParameters,
+    busy_wait_pump_firmware,
+    syringe_pump_firmware,
+)
+from repro.firmware.testbench import PoxTestbench, TestbenchConfig
+
+
+def _entry_tuple(entry):
+    return (
+        entry.step,
+        entry.cycle,
+        entry.pc,
+        entry.next_pc,
+        entry.irq,
+        entry.irq_source,
+        entry.instruction,
+        tuple(sorted(entry.monitor_signals.items())),
+    )
+
+
+def _run(firmware, architecture, decode_cache, setup=None):
+    bench = PoxTestbench(firmware, TestbenchConfig(
+        architecture=architecture, decode_cache_enabled=decode_cache,
+    ))
+    result = bench.run_pox(setup=setup)
+    return bench, result
+
+
+def _assert_identical(firmware, architecture="asap", setup=None):
+    bench_on, result_on = _run(firmware, architecture, True, setup)
+    bench_off, result_off = _run(firmware, architecture, False, setup)
+
+    assert result_on.accepted == result_off.accepted
+    assert result_on.reason == result_off.reason
+    assert bench_on.exec_flag == bench_off.exec_flag
+    assert (bench_on.device.interrupt_controller.serviced
+            == bench_off.device.interrupt_controller.serviced)
+    assert bench_on.output_bytes() == bench_off.output_bytes()
+
+    entries_on = [_entry_tuple(entry) for entry in bench_on.device.trace]
+    entries_off = [_entry_tuple(entry) for entry in bench_off.device.trace]
+    assert entries_on == entries_off
+
+
+FIRMWARE_IMAGES = [
+    pytest.param(lambda: blinker_firmware(authorized=True), id="blinker-authorized"),
+    pytest.param(lambda: blinker_firmware(authorized=False), id="blinker-unauthorized"),
+    pytest.param(lambda: syringe_pump_firmware(PumpParameters(dosage_cycles=120)),
+                 id="syringe-pump"),
+    pytest.param(lambda: busy_wait_pump_firmware(PumpParameters(dosage_cycles=120)),
+                 id="busy-wait-pump"),
+    pytest.param(lambda: sensor_logger_firmware(), id="sensor-logger"),
+]
+
+
+class TestTraceIdentity:
+    @pytest.mark.parametrize("firmware_factory", FIRMWARE_IMAGES)
+    def test_asap_pox_traces_identical(self, firmware_factory):
+        _assert_identical(
+            firmware_factory(), "asap",
+            setup=lambda device: device.schedule_button_press(6),
+        )
+
+    def test_apex_pox_traces_identical(self):
+        _assert_identical(blinker_firmware(authorized=True), "apex")
+
+    def test_traces_identical_with_dma_running(self):
+        def setup(device):
+            device.dma.configure(source=0x0200, destination=0x0300, size_words=8)
+            device.schedule(5, lambda d: d.dma.trigger(), label="dma")
+
+        _assert_identical(blinker_firmware(authorized=True), "asap", setup=setup)
+
+    def test_traces_identical_with_uart_traffic(self):
+        def setup(device):
+            device.schedule_uart_rx(4, b"\x55\xAA")
+
+        _assert_identical(blinker_firmware(authorized=True), "asap", setup=setup)
+
+
+class TestAttackGalleryUnaffected:
+    def test_every_attack_scenario_still_detected(self):
+        """The gallery rewrites code and the IVT; with the (default-on)
+        decode cache every scenario must still end the same way."""
+        for scenario in attack_suite():
+            outcome = scenario.run()
+            assert outcome.detected, scenario.name

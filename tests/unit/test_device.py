@@ -38,6 +38,29 @@ class TestDeviceBasics:
         assert reached
         assert device.cpu.registers[7] == 6
 
+    def test_run_until_pc_returns_false_on_crash(self, device):
+        # Firmware jumps through an unprogrammed interrupt vector: the
+        # device crashes long before the target PC.  The early break of
+        # the run loop must not be reported as success.
+        load_program(device, "MOV &0xFFE4, PC\n")  # vector 2 is 0x0000
+        reached = device.run_until_pc(0xE000 + 0x40, max_steps=100)
+        assert device.crashed
+        assert reached is False
+
+    def test_run_until_pc_true_when_reached_on_final_step(self, device):
+        # The stop condition fires on the max_steps-th step: that is
+        # still success, even though the step budget is exhausted.
+        load_program(device, "start:\nNOP\ndone:\nJMP done\n")
+        assert device.run_until_pc(0xE000, max_steps=1) is True
+
+    def test_run_until_pc_true_when_crash_at_target(self, device):
+        # The crash happens at the target address itself: the PC did
+        # reach it, even though the instruction there was illegal.
+        load_program(device, "MOV &0xFFE4, PC\n")
+        device.run_steps(2)
+        assert device.crashed
+        assert device.run_until_pc(device.cpu.pc, max_steps=10) is True
+
     def test_run_with_stop_condition(self, device):
         load_program(device, "loop:\nINC R6\nJMP loop\n")
         steps = device.run(
@@ -122,6 +145,32 @@ class TestDeviceInterruptsEndToEnd:
         device.run_steps(6)
         assert device.memory.peek_byte(PeripheralRegisters.URXBUF) == 0x7E
 
+    def test_reset_clears_injected_interrupts(self, device):
+        # A stale spoofed IRQ (sticky included) must not survive reset:
+        # before the fix, a scenario reset would immediately re-service
+        # the injected request.
+        load_program(device, "EINT\nloop:\nNOP\nJMP loop\n")
+        controller = device.interrupt_controller
+        controller.inject(5, sticky=True, label="spoofed")
+        device.run_steps(3)
+        assert controller.serviced.get(5)
+        device.reset()
+        assert controller.highest_pending() is None
+        assert controller.serviced == {}
+        device.run_steps(5)
+        assert controller.serviced.get(5) is None
+
+    def test_interrupt_controller_reset_direct(self):
+        from repro.peripherals.interrupt_controller import InterruptController
+
+        controller = InterruptController()
+        controller.inject(4, sticky=True)
+        controller.acknowledge(4)
+        assert controller.highest_pending() == 4  # sticky survives service
+        controller.reset()
+        assert controller.highest_pending() is None
+        assert controller.total_serviced() == 0
+
 
 class TestTraceRecorder:
     def make_bundle(self, cycle, pc, irq=False):
@@ -159,6 +208,53 @@ class TestTraceRecorder:
         trace.record(self.make_bundle(1, 0xE000))
         trace.clear()
         assert len(trace) == 0 and trace.total_cycles == 0
+
+    def test_bounded_recorder_keeps_most_recent_entries(self):
+        trace = TraceRecorder(max_entries=10)
+        for index in range(25):
+            trace.record(self.make_bundle(index, 0xE000 + 2 * index))
+        assert len(trace) == 10
+        assert trace.dropped == 15
+        assert trace.total_cycles == 25  # cycle accounting is unbounded
+        # The survivors are the 10 most recent steps.
+        assert [entry.step for entry in trace] == list(range(15, 25))
+
+    def test_bounded_recorder_series_and_waveform(self):
+        trace = TraceRecorder(max_entries=4)
+        for index in range(8):
+            trace.record(self.make_bundle(index, 0xE000 + 2 * index), {"EXEC": 1})
+        waveform = trace.waveform(["EXEC", "PC"])
+        assert waveform.length == 4
+        assert waveform.series("EXEC") == [1, 1, 1, 1]
+
+    def test_bounded_recorder_clear_resets_dropped(self):
+        trace = TraceRecorder(max_entries=2)
+        for index in range(5):
+            trace.record(self.make_bundle(index, 0xE000))
+        trace.clear()
+        assert trace.dropped == 0 and len(trace) == 0
+
+    def test_invalid_bound_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            TraceRecorder(max_entries=0)
+
+    def test_device_trace_limit_config(self):
+        from repro.device.mcu import Device, DeviceConfig
+        from repro.isa.assembler import Assembler
+
+        device = Device(DeviceConfig(trace_limit=16))
+        image = Assembler().assemble(
+            ".section .text\nloop:\nNOP\nJMP loop\n",
+            section_addresses={".text": 0xE000},
+        )
+        image.write_to(device.memory)
+        device.ivt.set_reset_vector(0xE000)
+        device.reset()
+        device.run_steps(100)
+        assert len(device.trace) == 16
+        assert device.trace.dropped == 84
 
 
 class TestWaveform:
@@ -198,3 +294,41 @@ class TestWaveform:
         waveform = TraceRecorder().waveform(["EXEC"])
         assert waveform.final_value("EXEC") is None
         assert waveform.to_ascii() == "(empty waveform)"
+
+    def test_ascii_annotation_steps_match_strided_columns(self):
+        # 150 samples at max_width 72 -> stride 3.  PC changes value at
+        # steps 90 and 120; before the fix the annotation used the
+        # unstrided indices (90, 120) while the marker row was strided,
+        # so the labels pointed at the wrong columns.  The annotated
+        # steps must be the *sampled* steps (multiples of the stride)
+        # and consistent with the series values at those steps.
+        trace = TraceRecorder()
+        for index in range(150):
+            if index < 90:
+                pc = 0xE000
+            elif index < 120:
+                pc = 0xE800
+            else:
+                pc = 0xF000
+            trace.record(SignalBundle(cycle=index, pc=pc, next_pc=pc))
+        waveform = trace.waveform(["PC"])
+        text = waveform.to_ascii(max_width=72)
+        marker_line = text.splitlines()[0]
+        annotation_line = text.splitlines()[1]
+        markers = marker_line.split(None, 1)[1]
+        stride = 3
+        assert len(markers) == 50  # 150 samples strided by 3
+        # Parse "step N: 0xVALUE" pairs out of the annotation.
+        import re
+
+        pairs = re.findall(r"step (\d+): 0x([0-9A-F]{4})", annotation_line)
+        assert pairs, annotation_line
+        series = waveform.series("PC")
+        for step_text, value_text in pairs:
+            step = int(step_text)
+            # The annotated step is a sampled step...
+            assert step % stride == 0
+            # ...whose series value matches the annotation...
+            assert series[step] == int(value_text, 16)
+            # ...and whose marker column is a transition marker.
+            assert markers[step // stride] == "|"
