@@ -1,0 +1,97 @@
+"""Campaign throughput: scenarios/sec versus ``--jobs``.
+
+The perf trajectory so far tracked steps/sec of a single device
+(``test_bench_sim_throughput.py``); this bench extends it to **sweep
+throughput** -- how many complete scenarios per second the campaign
+engine clears on the E9 attack-gallery sweep, serial versus the
+process-pool backend at increasing job counts.
+
+On a multi-core box the process backend must reach >= 2x the serial
+wall clock at 4 jobs; on single-core CI runners the scaling assertion
+is skipped (there is nothing to scale onto) and the table is recorded
+for the trajectory only.  Row-for-row identity between the backends is
+pinned separately by ``tests/integration/test_campaign.py``.
+
+Run with ``pytest benchmarks/test_bench_campaign.py --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.experiments.runners import security_scenarios
+from repro.sim import CampaignRunner
+
+#: Required wall-clock speedup of 4 process jobs over serial (only
+#: asserted when the machine actually has >= 4 CPUs).
+REQUIRED_SPEEDUP = 2.0
+#: Measurement passes per configuration; best is reported.
+REPEATS = 2
+
+
+def _sweep_seconds(backend, jobs):
+    specs = security_scenarios()
+    best = float("inf")
+    for _ in range(REPEATS):
+        runner = CampaignRunner(backend=backend, jobs=jobs)
+        outcome = runner.run(specs)
+        assert outcome.all_ok(), [f.failure_summary() for f in outcome.failures()]
+        best = min(best, outcome.elapsed_seconds)
+    return best, len(specs)
+
+
+def test_campaign_scaling_attack_gallery(benchmark, table_printer):
+    """Scenarios/sec of the E6/E9 attack-gallery sweep vs. job count."""
+    serial_seconds, scenario_count = _sweep_seconds("serial", 1)
+    rows = [{
+        "backend": "serial", "jobs": 1,
+        "wall clock (s)": "%.2f" % serial_seconds,
+        "scenarios/sec": "%.1f" % (scenario_count / serial_seconds),
+        "speedup": "1.00x",
+    }]
+    process_seconds = {}
+    for jobs in (2, 4):
+        seconds, _ = _sweep_seconds("process", jobs)
+        process_seconds[jobs] = seconds
+        rows.append({
+            "backend": "process", "jobs": jobs,
+            "wall clock (s)": "%.2f" % seconds,
+            "scenarios/sec": "%.1f" % (scenario_count / seconds),
+            "speedup": "%.2fx" % (serial_seconds / seconds),
+        })
+    table_printer("Campaign throughput (E9 attack gallery, %d scenarios)"
+                  % scenario_count, rows)
+
+    benchmark.pedantic(
+        lambda: CampaignRunner().run(security_scenarios()[:2]),
+        rounds=1,
+    )
+
+    cpus = os.cpu_count() or 1
+    if cpus >= 4:
+        speedup = serial_seconds / process_seconds[4]
+        assert speedup >= REQUIRED_SPEEDUP, (
+            "expected >= %.1fx at 4 jobs on a %d-CPU machine, got %.2fx"
+            % (REQUIRED_SPEEDUP, cpus, speedup))
+    else:
+        print("(%d CPU(s): recording the trajectory only, scaling "
+              "assertion skipped)" % cpus)
+
+
+def test_campaign_overhead_is_bounded_serial(benchmark):
+    """The engine itself adds little on top of the raw attack bodies."""
+    from repro.firmware.attacks import attack_suite
+
+    started = time.perf_counter()
+    for scenario in attack_suite():
+        scenario.run()
+    raw_seconds = time.perf_counter() - started
+
+    outcome = benchmark(lambda: CampaignRunner().run(security_scenarios()))
+    assert outcome.all_ok()
+    # Declarative dispatch + observation extraction should cost well
+    # under half of the raw scenario bodies themselves.
+    assert outcome.elapsed_seconds < raw_seconds * 1.5

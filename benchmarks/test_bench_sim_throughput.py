@@ -135,6 +135,41 @@ def test_trace_recording_is_not_the_bottleneck(benchmark, table_printer):
     assert traced > untraced
 
 
+def test_run_batch_beats_per_step_loop(benchmark, table_printer):
+    """The batched loop outruns the per-step ``run`` loop (PR 1 shape).
+
+    ``run_batch`` hoists the crash/event/tick checks out of quiescent
+    stretches and, with no observers attached, skips per-step signal
+    bundles entirely; the differential tests
+    (``tests/unit/test_run_batch.py``) pin byte-identical behaviour.
+    """
+    firmware = blinker_firmware(authorized=True)
+
+    def best_rate(run_function):
+        best = 0.0
+        for _ in range(REPEATS):
+            device = _fresh_device(firmware, decode_cache=True, trace=False)
+            device.run_steps(1000)  # settle: boot code, cold decode cache
+            started = time.perf_counter()
+            run_function(device)
+            elapsed = time.perf_counter() - started
+            best = max(best, MEASURE_STEPS / elapsed)
+        return best
+
+    per_step = best_rate(lambda device: device.run(max_steps=MEASURE_STEPS))
+    batched = best_rate(lambda device: device.run_batch(MEASURE_STEPS))
+    table_printer("Batched vs. per-step loop (blinker, cache on, trace off)", [
+        {"loop": "per-step Device.run", "steps/sec": "%.0f" % per_step},
+        {"loop": "batched Device.run_batch", "steps/sec": "%.0f" % batched,
+         "speedup": "%.2fx" % (batched / per_step)},
+    ])
+    benchmark.pedantic(
+        lambda: _fresh_device(firmware, True, False).run_batch(2000),
+        rounds=1,
+    )
+    assert batched >= 1.2 * per_step
+
+
 def test_throughput_trajectory(benchmark):
     """Record the fast-path configuration in the bench trajectory."""
     firmware = blinker_firmware(authorized=True)

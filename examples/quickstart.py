@@ -17,7 +17,40 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import PoxTestbench, TestbenchConfig, blinker_firmware
+from repro import (
+    CampaignRunner,
+    EventSpec,
+    FirmwareRef,
+    Observe,
+    PoxTestbench,
+    ScenarioSpec,
+    TestbenchConfig,
+    blinker_firmware,
+)
+
+
+def campaign_demo():
+    """A 10-line scenario campaign: the same exchange, swept declaratively.
+
+    ``ScenarioSpec`` is picklable plain data, so the same list can run
+    through ``CampaignRunner(backend="process", jobs=4)`` for parallel
+    sweeps -- results come back in spec order either way.
+    """
+    specs = [
+        ScenarioSpec(
+            name="blinker-%s-%s" % (architecture, "auth" if authorized else "unauth"),
+            firmware=FirmwareRef.of("blinker", authorized=authorized),
+            config_overrides={"architecture": architecture},
+            events=(EventSpec("button_press", step=6),),
+            observe=(Observe("accepted"), Observe("exec_flag")),
+        )
+        for architecture in ("asap", "apex")
+        for authorized in (True, False)
+    ]
+    outcome = CampaignRunner().run(specs)
+    print("\n--- campaign sweep (architecture x ISR authorization) ---")
+    for result in outcome:
+        print("%-24s %s" % (result.name, result.row))
 
 
 def main():
@@ -60,6 +93,8 @@ def main():
 
     if not result.accepted:
         raise SystemExit("unexpected: the proof should have been accepted")
+
+    campaign_demo()
 
 
 if __name__ == "__main__":

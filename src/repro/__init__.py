@@ -63,6 +63,17 @@ from repro.firmware import (
     sensor_logger_firmware,
     attack_suite,
 )
+from repro.sim import (
+    CampaignResult,
+    CampaignRunner,
+    EventSpec,
+    FirmwareRef,
+    Observe,
+    ScenarioResult,
+    ScenarioSpec,
+    StopSpec,
+    run_scenario,
+)
 
 __version__ = "1.0.0"
 
@@ -116,5 +127,14 @@ __all__ = [
     "busy_wait_pump_firmware",
     "sensor_logger_firmware",
     "attack_suite",
+    "CampaignResult",
+    "CampaignRunner",
+    "EventSpec",
+    "FirmwareRef",
+    "Observe",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "StopSpec",
+    "run_scenario",
     "__version__",
 ]

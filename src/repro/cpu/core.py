@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro._compat import DATACLASS_SLOTS
 from repro.isa.encoding import DecodeError, decode_instruction
 from repro.isa.instructions import AddressingMode, Instruction, InstructionFormat, Opcode
 from repro.isa.registers import PC, SP, SR, CG, REGISTER_COUNT, StatusFlag
@@ -39,7 +40,7 @@ class CPUError(Exception):
     """Raised on unrecoverable execution errors (bad opcodes, bad state)."""
 
 
-@dataclass(slots=True)
+@dataclass(**DATACLASS_SLOTS)
 class StepResult:
     """Outcome of one :meth:`CPU.step` call."""
 
@@ -216,6 +217,83 @@ class CPU:
             instruction=text, cycles=cycles,
         )
         return StepResult(bundle=bundle)
+
+    def step_quiet(self):
+        """One step with no pending interrupt: the batched-loop fast path.
+
+        Semantically identical to ``step(None)`` but returns the
+        :class:`~repro.cpu.signals.SignalBundle` directly instead of
+        wrapping it in a :class:`StepResult` -- the caller
+        (:meth:`repro.device.mcu.Device.run_batch`'s inner loop) already
+        knows no interrupt can be serviced while the interrupt
+        controller is quiescent, so the per-step wrapper allocation and
+        the interrupt-entry branch are pure overhead there.
+        """
+        if self._writes:
+            self._writes = []
+        if self._reads:
+            self._reads = []
+        registers = self.registers
+        start_pc = registers[PC]
+        sr = registers[SR]
+        if sr & _CPUOFF:
+            return self._make_bundle(
+                start_pc, start_pc, bool(sr & _GIE), True,
+                instruction="(sleep)", cycles=IDLE_CYCLES,
+            )
+        cache = self.decode_cache
+        if cache is not None:
+            entry = cache._entries.get(start_pc)
+            if entry is not None:
+                cache.hits += 1
+                instruction, size, text, cycles = entry
+            else:
+                instruction, size, text, cycles = self._fetch(start_pc)
+        else:
+            instruction, size, text, cycles = self._fetch(start_pc)
+        registers[PC] = (start_pc + size) & 0xFFFF
+        self._handlers[instruction.opcode](instruction)
+        return self._make_bundle(
+            start_pc, registers[PC], bool(sr & _GIE), False,
+            instruction=text, cycles=cycles,
+        )
+
+    def step_silent(self):
+        """One observer-free step: no signal bundle is materialised.
+
+        Only valid when nothing can observe the step -- no monitor
+        attached, trace recording disabled, no pending interrupt.
+        Register, memory and cycle/step accounting effects are identical
+        to ``step(None)``; the per-step :class:`SignalBundle` (whose
+        only consumers are monitors and the trace) is skipped entirely.
+        Returns the cycles consumed.
+        """
+        if self._writes:
+            self._writes = []
+        if self._reads:
+            self._reads = []
+        registers = self.registers
+        sr = registers[SR]
+        if sr & _CPUOFF:
+            self.cycle_count += IDLE_CYCLES
+            self.step_count += 1
+            return IDLE_CYCLES
+        start_pc = registers[PC]
+        cache = self.decode_cache
+        if cache is not None:
+            entry = cache._entries.get(start_pc)
+            if entry is not None:
+                cache.hits += 1
+                instruction, size, _text, cycles = entry
+            else:
+                instruction, size, _text, cycles = self._fetch(start_pc)
+        else:
+            instruction, size, _text, cycles = self._fetch(start_pc)
+        registers[PC] = (start_pc + size) & 0xFFFF
+        self._handlers[instruction.opcode](instruction)
+        self.cycle_count += cycles
+        self.step_count += 1
+        return cycles
 
     def _enter_interrupt(self, source, start_pc, gie_before, cpu_off_before):
         """Perform interrupt entry for IVT index *source*."""

@@ -19,8 +19,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro._compat import DATACLASS_SLOTS
 
-@dataclass(frozen=True, slots=True)
+
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class MemoryWrite:
     """One data-memory write performed during a step."""
 
@@ -29,7 +31,7 @@ class MemoryWrite:
     size: int = 2
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class MemoryRead:
     """One data-memory read performed during a step."""
 
@@ -38,7 +40,7 @@ class MemoryRead:
     size: int = 2
 
 
-@dataclass(slots=True)
+@dataclass(**DATACLASS_SLOTS)
 class SignalBundle:
     """The monitor-visible signals for a single simulated step.
 

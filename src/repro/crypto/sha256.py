@@ -50,7 +50,10 @@ class Sha256:
 
     def __init__(self, data=b""):
         self._state = list(_H0)
-        self._buffer = b""
+        # A bytearray so update() appends in place: rebuilding an
+        # immutable bytes buffer per call makes attestation over many
+        # small UART-fed chunks quadratic in the total input size.
+        self._buffer = bytearray()
         self._length = 0
         if data:
             self.update(data)
@@ -59,17 +62,23 @@ class Sha256:
         """Absorb *data* (bytes-like) into the hash state."""
         data = bytes(data)
         self._length += len(data)
-        self._buffer += data
-        while len(self._buffer) >= 64:
-            self._compress(self._buffer[:64])
-            self._buffer = self._buffer[64:]
+        buffer = self._buffer
+        buffer += data
+        if len(buffer) >= 64:
+            compress = self._compress
+            offset = 0
+            end = len(buffer)
+            while end - offset >= 64:
+                compress(buffer[offset:offset + 64])
+                offset += 64
+            del buffer[:offset]
         return self
 
     def copy(self):
         """Return an independent copy of the current hash state."""
         clone = Sha256()
         clone._state = list(self._state)
-        clone._buffer = self._buffer
+        clone._buffer = bytearray(self._buffer)
         clone._length = self._length
         return clone
 
@@ -87,13 +96,13 @@ class Sha256:
 
     def _pad(self):
         bit_length = self._length * 8
-        self._buffer += b"\x80"
-        while (len(self._buffer) % 64) != 56:
-            self._buffer += b"\x00"
-        self._buffer += struct.pack(">Q", bit_length)
-        while self._buffer:
-            self._compress(self._buffer[:64])
-            self._buffer = self._buffer[64:]
+        buffer = self._buffer
+        buffer.append(0x80)
+        buffer.extend(b"\x00" * ((56 - len(buffer)) % 64))
+        buffer += struct.pack(">Q", bit_length)
+        for offset in range(0, len(buffer), 64):
+            self._compress(buffer[offset:offset + 64])
+        del buffer[:]
 
     def _compress(self, block):
         w = list(struct.unpack(">16I", block))

@@ -63,7 +63,13 @@ class DeviceConfig:
 
 @dataclass
 class ScheduledEvent:
-    """An external event scheduled to fire at a given step number."""
+    """An external event scheduled to fire at a given step number.
+
+    ``fired`` is latched for the benefit of whoever kept the handle
+    returned by :meth:`Device.schedule`; the device itself drops fired
+    events from its pending list so long attack schedules do not pay
+    O(events) on every step of the run.
+    """
 
     step: int
     action: Callable[["Device"], None]
@@ -191,9 +197,18 @@ class Device:
         self._periph_dirty = True
 
     def schedule(self, step, action, label=""):
-        """Schedule *action(device)* to run just before step number *step*."""
+        """Schedule *action(device)* to run just before step number *step*.
+
+        ``_events`` is kept sorted by step (stable for equal steps), so
+        the step loop only ever has to look at the list head and fired
+        events can be pruned from the front.
+        """
         event = ScheduledEvent(step=step, action=action, label=label)
-        self._events.append(event)
+        events = self._events
+        index = len(events)
+        while index > 0 and events[index - 1].step > step:
+            index -= 1
+        events.insert(index, event)
         return event
 
     def schedule_button_press(self, step, port=None, pin_mask=0x01):
@@ -216,7 +231,8 @@ class Device:
         self.step_number += 1
         if self.crashed:
             return self._crash_bundle()
-        if self._events:
+        events = self._events
+        if events and events[0].step <= self.step_number:
             self._fire_events()
 
         if self._periph_dirty:
@@ -268,13 +284,45 @@ class Device:
         return bundle
 
     def _fire_events(self):
-        for event in self._events:
-            if not event.fired and event.step <= self.step_number:
-                event.fired = True
-                event.action(self)
-                # Events run arbitrary actions; conservatively leave the
-                # quiescent fast loop so their effects are picked up.
-                self._periph_dirty = True
+        events = self._events
+        while events and events[0].step <= self.step_number:
+            event = events.pop(0)
+            event.fired = True
+            event.action(self)
+            # Events run arbitrary actions; conservatively leave the
+            # quiescent fast loop so their effects are picked up.
+            self._periph_dirty = True
+
+    def _step_silent_chunk(self, chunk):
+        """Observer-free variant of :meth:`_step_quiescent_chunk`.
+
+        With no monitor attached and trace recording disabled, nothing
+        can see the per-step signal bundle, so the loop uses
+        :meth:`~repro.cpu.core.CPU.step_silent` and skips bundle
+        construction entirely.  Device state (registers, memory, cycle
+        and step counters, trace cycle accounting) stays identical to
+        the per-step path.
+        """
+        cpu_step_silent = self.cpu.step_silent
+        executed = 0
+        cycles_total = 0
+        last_cycles = self._last_step_cycles
+        try:
+            while executed < chunk and not self._periph_dirty:
+                self.step_number += 1
+                last_cycles = cpu_step_silent()
+                cycles_total += last_cycles
+                executed += 1
+        except CPUError as error:
+            self.crashed = True
+            self.crash_reason = str(error)
+            self._last_step_cycles = last_cycles
+            self.trace.count_cycles(cycles_total)
+            self._crash_bundle()
+            return executed + 1
+        self._last_step_cycles = last_cycles
+        self.trace.count_cycles(cycles_total)
+        return executed
 
     def _crash_bundle(self):
         """Synthetic bundle emitted once the device has crashed."""
@@ -329,10 +377,92 @@ class Device:
         return found
 
     def run_steps(self, count):
-        """Run exactly *count* steps."""
-        step = self.step
-        for _ in range(count):
-            step()
+        """Run exactly *count* steps (through the batched inner loop)."""
+        self.run_batch(count)
+
+    def run_batch(self, count):
+        """Run exactly *count* steps with the per-step checks hoisted.
+
+        Behaviourally identical to calling :meth:`step` *count* times --
+        the differential tests pin byte-identical traces -- but the
+        crash flag, the event schedule and the peripheral-tick decision
+        are checked once per quiescent stretch instead of once per step:
+        while no event is due, the peripherals are provably idle and the
+        device has not crashed, the inner loop goes straight from fetch
+        to trace.  This is the ROADMAP's "batching the step loop" lever;
+        ``benchmarks/test_bench_sim_throughput.py`` records the speedup
+        over the per-step :meth:`run` loop.
+        """
+        remaining = count
+        while remaining > 0:
+            if self.crashed or self._periph_dirty:
+                self.step()
+                remaining -= 1
+                continue
+            chunk = remaining
+            events = self._events
+            if events:
+                # The next event fires during the step that takes
+                # step_number to >= its step; stay strictly before it.
+                margin = events[0].step - self.step_number - 1
+                if margin <= 0:
+                    self.step()
+                    remaining -= 1
+                    continue
+                if margin < chunk:
+                    chunk = margin
+            remaining -= self._step_quiescent_chunk(chunk)
+        return count
+
+    def _step_quiescent_chunk(self, chunk):
+        """Tight inner loop for :meth:`run_batch`.
+
+        Preconditions (established by the caller): the device has not
+        crashed, no scheduled event is due within *chunk* steps, and the
+        peripherals are quiescent with no interrupt pending.  The only
+        things that can change that from inside are a CPU write (which
+        raises ``_periph_dirty`` through the wake listener -- re-checked
+        every iteration) and an illegal instruction (handled exactly
+        like :meth:`step` does).
+        """
+        monitors = self.monitors
+        if not monitors and not self.trace.enabled:
+            return self._step_silent_chunk(chunk)
+        cpu_step_quiet = self.cpu.step_quiet
+        exporters = self._signal_exporters
+        record = self.trace.record
+        dma = self.dma
+        executed = 0
+        while executed < chunk:
+            if self._periph_dirty:
+                break
+            self.step_number += 1
+            try:
+                bundle = cpu_step_quiet()
+            except CPUError as error:
+                self.crashed = True
+                self.crash_reason = str(error)
+                self._crash_bundle()
+                executed += 1
+                break
+            self._last_step_cycles = bundle.cycles_consumed
+            if dma._step_reads or dma._step_writes:
+                bundle.dma_en = True
+                bundle.dma_reads = dma._step_reads
+                bundle.dma_writes = dma._step_writes
+            if exporters:
+                monitor_signals = {}
+                for monitor in monitors:
+                    monitor.observe(bundle)
+                for monitor in exporters:
+                    monitor_signals.update(monitor.signal_values())
+                record(bundle, monitor_signals)
+            else:
+                for monitor in monitors:
+                    monitor.observe(bundle)
+                record(bundle)
+            executed += 1
+        return executed
 
     # ------------------------------------------------------------ helpers
 

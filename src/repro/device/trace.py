@@ -14,10 +14,11 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro._compat import DATACLASS_SLOTS
 from repro.cpu.signals import SignalBundle
 
 
-@dataclass(slots=True)
+@dataclass(**DATACLASS_SLOTS)
 class TraceEntry:
     """One recorded simulation step."""
 
@@ -69,6 +70,16 @@ class TraceRecorder:
         if self.max_entries is None:
             return []
         return deque(maxlen=self.max_entries)
+
+    def count_cycles(self, cycles):
+        """Account simulated cycles without recording an entry.
+
+        Used by the batched observer-free step loop
+        (:meth:`repro.device.mcu.Device.run_batch`), which skips bundle
+        construction entirely when the recorder is disabled but must
+        keep :attr:`total_cycles` identical to the per-step path.
+        """
+        self._total_cycles += cycles
 
     def record(self, bundle: SignalBundle, monitor_signals=None):
         """Record one step from *bundle* plus monitor-exported signals."""

@@ -1,30 +1,51 @@
 """Programmatic experiment runners.
 
-Each function regenerates one artifact of the paper's evaluation and
-returns an :class:`ExperimentResult` containing structured rows plus a
-rendered text block.  ``python -m repro.experiments`` runs all of them
-and prints a consolidated report (the same content the benchmark
-harness prints, without the timing machinery).
+Each ``run_*`` function regenerates one artifact of the paper's
+evaluation as a campaign of declarative scenarios
+(:mod:`repro.sim`) and returns an :class:`ExperimentResult` with
+structured rows plus a rendered text block.  The companion
+``*_scenarios()`` functions expose the raw
+:class:`~repro.sim.scenario.ScenarioSpec` lists so sweeps can be re-run
+under any backend.  ``python -m repro.experiments`` is the CLI
+(``--jobs``/``--backend``/``--json``/``--list``).
 """
 
 from repro.experiments.runners import (
+    EXPERIMENT_RUNNERS,
     ExperimentResult,
+    busywait_scenarios,
+    fig5_scenarios,
+    fig6_scenarios,
+    load_json,
+    run_all_experiments,
+    run_busywait_ablation,
     run_fig5_waveforms,
     run_fig6_overhead,
-    run_verification_cost,
     run_runtime_overhead,
-    run_busywait_ablation,
     run_security_scenarios,
-    run_all_experiments,
+    run_verification_cost,
+    runtime_scenarios,
+    security_scenarios,
+    verification_scenarios,
+    write_json,
 )
 
 __all__ = [
+    "EXPERIMENT_RUNNERS",
     "ExperimentResult",
+    "busywait_scenarios",
+    "fig5_scenarios",
+    "fig6_scenarios",
+    "load_json",
+    "run_all_experiments",
+    "run_busywait_ablation",
     "run_fig5_waveforms",
     "run_fig6_overhead",
-    "run_verification_cost",
     "run_runtime_overhead",
-    "run_busywait_ablation",
     "run_security_scenarios",
-    "run_all_experiments",
+    "run_verification_cost",
+    "runtime_scenarios",
+    "security_scenarios",
+    "verification_scenarios",
+    "write_json",
 ]

@@ -1,37 +1,103 @@
 """Command-line entry point: ``python -m repro.experiments``.
 
-Runs every experiment runner and prints the consolidated report.  Pass
-experiment ids (e.g. ``E6 E9``) to run a subset; pass ``--list`` to see
-the available ids.
+Runs the experiment campaigns and prints the consolidated report::
+
+    python -m repro.experiments                      # everything, serial
+    python -m repro.experiments E6 E9                # a subset
+    python -m repro.experiments --list               # available ids
+    python -m repro.experiments --backend process --jobs 4
+    python -m repro.experiments --json report.json   # machine-readable export
+
+Unknown flags are rejected with exit code 2 (argparse); a failing
+experiment exits 1.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
-from repro.experiments.runners import run_all_experiments
+from repro.experiments import runners
+from repro.sim import BACKENDS, CampaignRunner
 
-ALL_IDS = ["E1-E3", "E4-E5", "E6", "E7", "E8", "E9"]
+#: Experiment ids, in execution order.  A convenience snapshot for
+#: importers; the CLI itself reads the live registry so experiments
+#: registered after import are listed, selectable and skippable.
+ALL_IDS = list(runners.EXPERIMENT_RUNNERS)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures as "
+                    "scenario campaigns.",
+    )
+    parser.add_argument(
+        "ids", nargs="*", metavar="ID",
+        help="experiment ids to run (default: all); see --list",
+    )
+    parser.add_argument(
+        "--list", action="store_true", dest="list_ids",
+        help="print the available experiment ids and exit",
+    )
+    parser.add_argument(
+        "--backend", choices=BACKENDS, default="serial",
+        help="campaign execution backend (default: serial)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the process backend "
+             "(default: the machine's CPU count)",
+    )
+    parser.add_argument(
+        "--json", dest="json_path", metavar="PATH", default=None,
+        help="also write the structured results to PATH as JSON",
+    )
+    return parser
 
 
 def main(argv=None):
     argv = list(sys.argv[1:] if argv is None else argv)
-    if "--list" in argv:
-        for experiment_id in ALL_IDS:
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exit_request:
+        # argparse exits 2 on unknown flags/bad values (and 0 on --help);
+        # surface that as a return code so callers can treat main() as a
+        # plain function.
+        return exit_request.code
+
+    all_ids = list(runners.EXPERIMENT_RUNNERS)
+    if args.list_ids:
+        for experiment_id in all_ids:
             print(experiment_id)
         return 0
-    selected = [argument for argument in argv if not argument.startswith("-")]
+
     skip = None
-    if selected:
-        unknown = [item for item in selected if item not in ALL_IDS]
+    if args.ids:
+        unknown = [item for item in args.ids if item not in all_ids]
         if unknown:
-            print("unknown experiment ids: %s" % ", ".join(unknown))
+            print("unknown experiment ids: %s" % ", ".join(unknown),
+                  file=sys.stderr)
             return 2
-        skip = [experiment_id for experiment_id in ALL_IDS if experiment_id not in selected]
-    results = run_all_experiments(skip=skip)
+        skip = [experiment_id for experiment_id in all_ids
+                if experiment_id not in args.ids]
+
+    if args.jobs is not None and args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+
+    campaign = CampaignRunner(backend=args.backend, jobs=args.jobs)
+    results = runners.run_all_experiments(skip=skip, campaign=campaign)
     for result in results:
         print(result.render())
         print()
+
+    if args.json_path:
+        runners.write_json(results, args.json_path)
+        print("wrote %d experiment results to %s" % (len(results), args.json_path))
+
     failed = [result.experiment_id for result in results if not result.succeeded]
     if failed:
         print("FAILED experiments: %s" % ", ".join(failed))

@@ -1,29 +1,35 @@
 """Experiment runners: regenerate every table and figure of the paper.
 
-The runners are intentionally thin wrappers around the public API; the
-benchmark harness (``benchmarks/``) exercises the same code paths under
-``pytest-benchmark``, while these functions are convenient from scripts,
-notebooks and ``python -m repro.experiments``.
+Every experiment is a **campaign**: a list of declarative
+:class:`~repro.sim.scenario.ScenarioSpec` built by a ``*_scenarios()``
+function, executed through a :class:`~repro.sim.runner.CampaignRunner`
+(serial by default; pass ``--backend process --jobs N`` on the command
+line, or hand any runner to the functions here, to sweep in parallel)
+and folded into an :class:`ExperimentResult` with structured rows.  The
+spec lists are public so benches and notebooks can re-sweep them under
+different backends, and :func:`write_json` exports a whole report for
+machine consumption.
 """
 
 from __future__ import annotations
 
+import json
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro.firmware.syringe_pump import PUMP_OUTPUT_LAYOUT, PumpParameters
 from repro.firmware.attacks import attack_suite
-from repro.firmware.blinker import blinker_firmware
-from repro.firmware.syringe_pump import (
-    PUMP_OUTPUT_LAYOUT,
-    PumpParameters,
-    busy_wait_pump_firmware,
-    syringe_pump_firmware,
+from repro.firmware.testbench import TestbenchConfig
+from repro.ltl.properties import asap_property_suite
+from repro.sim import (
+    CampaignRunner,
+    EventSpec,
+    FirmwareRef,
+    Observe,
+    ScenarioSpec,
 )
-from repro.firmware.testbench import PoxTestbench, TestbenchConfig
-from repro.hwcost.report import figure6_comparison
-from repro.ltl.model_checker import ModelChecker
-from repro.ltl.properties import MODEL_BUILDERS, asap_property_suite
 
 
 @dataclass
@@ -58,6 +64,17 @@ class ExperimentResult:
                                               self.elapsed_seconds))
         return "\n".join(lines)
 
+    def to_dict(self) -> Dict:
+        """JSON-serialisable view of the result."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "rows": self.rows,
+            "notes": self.notes,
+            "elapsed_seconds": self.elapsed_seconds,
+            "succeeded": self.succeeded,
+        }
+
 
 def _timed(function: Callable[[], ExperimentResult]) -> ExperimentResult:
     started = time.perf_counter()
@@ -66,41 +83,54 @@ def _timed(function: Callable[[], ExperimentResult]) -> ExperimentResult:
     return result
 
 
+def _campaign(campaign: Optional[CampaignRunner]) -> CampaignRunner:
+    return campaign if campaign is not None else CampaignRunner()
+
+
+def _failure_notes(outcome) -> List[str]:
+    """One note per failed scenario of a campaign outcome."""
+    return [failure.failure_summary() for failure in outcome.failures()]
+
+
 # --------------------------------------------------------------------------
 # E1-E3: Fig. 5 waveforms
 # --------------------------------------------------------------------------
 
-def run_fig5_waveforms() -> ExperimentResult:
+def fig5_scenarios() -> List[ScenarioSpec]:
+    """The three Fig. 5 interrupt-handling scenarios as a campaign."""
+    matrix = [
+        ("Fig. 5(a)", "asap", True, True),
+        ("Fig. 5(b)", "asap", False, False),
+        ("Fig. 5(c)", "apex", True, False),
+    ]
+    return [
+        ScenarioSpec(
+            name=label,
+            firmware=FirmwareRef.of("blinker", authorized=authorized),
+            config=TestbenchConfig(architecture=architecture),
+            events=(EventSpec("button_press", step=6),),
+            observe=(
+                Observe("first_irq_in_er", key="isr inside ER"),
+                Observe("final_signal", key="final EXEC", args=("EXEC",)),
+                Observe("accepted", key="proof accepted"),
+            ),
+            expect={"proof accepted": expect_accept},
+            meta={"scenario": label, "architecture": architecture},
+        )
+        for label, architecture, authorized, expect_accept in matrix
+    ]
+
+
+def run_fig5_waveforms(campaign: Optional[CampaignRunner] = None) -> ExperimentResult:
     """Replay the three Fig. 5 scenarios and summarise each waveform."""
 
     def body():
-        scenarios = [
-            ("Fig. 5(a)", "asap", True, True),
-            ("Fig. 5(b)", "asap", False, False),
-            ("Fig. 5(c)", "apex", True, False),
-        ]
-        rows = []
-        succeeded = True
-        for label, architecture, authorized, expect_accept in scenarios:
-            bench = PoxTestbench(
-                blinker_firmware(authorized=authorized),
-                TestbenchConfig(architecture=architecture),
-            )
-            result = bench.run_pox(setup=lambda d: d.schedule_button_press(6))
-            irq_entry = bench.device.trace.steps_with_irq()[0]
-            final_exec = bench.waveform(["EXEC"]).final_value("EXEC")
-            rows.append({
-                "scenario": label,
-                "architecture": architecture,
-                "isr inside ER": bench.executable.contains(irq_entry.next_pc),
-                "final EXEC": final_exec,
-                "proof accepted": result.accepted,
-            })
-            succeeded &= (result.accepted == expect_accept)
+        outcome = _campaign(campaign).run(fig5_scenarios())
         return ExperimentResult(
-            "E1-E3", "Fig. 5 interrupt-handling waveforms", rows,
-            notes=["paper: (a) EXEC stays 1, (b) and (c) EXEC drops to 0"],
-            succeeded=succeeded,
+            "E1-E3", "Fig. 5 interrupt-handling waveforms", outcome.rows(),
+            notes=["paper: (a) EXEC stays 1, (b) and (c) EXEC drops to 0"]
+            + _failure_notes(outcome),
+            succeeded=outcome.all_ok(),
         )
 
     return _timed(body)
@@ -110,19 +140,31 @@ def run_fig5_waveforms() -> ExperimentResult:
 # E4-E5: Fig. 6 hardware overhead
 # --------------------------------------------------------------------------
 
-def run_fig6_overhead() -> ExperimentResult:
+def fig6_scenarios() -> List[ScenarioSpec]:
+    """The Fig. 6 cost comparison as a one-job campaign."""
+    return [ScenarioSpec(name="fig6-overhead", kind="job", job="figure6")]
+
+
+def run_fig6_overhead(campaign: Optional[CampaignRunner] = None) -> ExperimentResult:
     """Regenerate the Fig. 6 LUT/register comparison."""
 
     def body():
-        comparison = figure6_comparison()
-        rows = comparison.rows()
-        succeeded = comparison.lut_delta < 0 and comparison.register_delta < 0
+        outcome = _campaign(campaign).run(fig6_scenarios())
+        result = outcome[0]
+        if result.error is not None:
+            return ExperimentResult(
+                "E4-E5", "Fig. 6 hardware overhead (APEX vs. ASAP)",
+                notes=[result.failure_summary()], succeeded=False,
+            )
+        lut_delta = result.observations["lut_delta"]
+        register_delta = result.observations["register_delta"]
         return ExperimentResult(
-            "E4-E5", "Fig. 6 hardware overhead (APEX vs. ASAP)", rows,
+            "E4-E5", "Fig. 6 hardware overhead (APEX vs. ASAP)",
+            result.observations["rows"],
             notes=["paper: ASAP uses 24 fewer LUTs and 3 fewer registers than APEX",
                    "measured delta: %d LUTs, %d registers"
-                   % (comparison.lut_delta, comparison.register_delta)],
-            succeeded=succeeded,
+                   % (lut_delta, register_delta)],
+            succeeded=lut_delta < 0 and register_delta < 0,
         )
 
     return _timed(body)
@@ -132,28 +174,31 @@ def run_fig6_overhead() -> ExperimentResult:
 # E6: verification cost
 # --------------------------------------------------------------------------
 
-def run_verification_cost() -> ExperimentResult:
+def verification_scenarios() -> List[ScenarioSpec]:
+    """The 21-property ASAP verification suite as a campaign."""
+    return [
+        ScenarioSpec(
+            name="ltl-%s" % spec.name,
+            kind="ltl",
+            ltl_property=spec.name,
+            expect={"holds": True},
+        )
+        for spec in asap_property_suite()
+    ]
+
+
+def run_verification_cost(campaign: Optional[CampaignRunner] = None) -> ExperimentResult:
     """Model-check the 21-property ASAP suite and report statistics."""
 
     def body():
-        models = {name: builder() for name, builder in MODEL_BUILDERS.items()}
-        rows = []
-        all_hold = True
-        for spec in asap_property_suite():
-            checker = ModelChecker(models[spec.model])
-            result = checker.check(spec.formula, name=spec.name)
-            all_hold &= result.holds
-            rows.append({
-                "property": spec.name,
-                "origin": spec.origin,
-                "holds": result.holds,
-                "states": result.states_explored,
-            })
+        outcome = _campaign(campaign).run(verification_scenarios())
+        rows = outcome.rows()
         return ExperimentResult(
             "E6", "Verification cost (21 LTL properties)", rows,
             notes=["paper: 21 properties, ~150 s under NuSMV; here: explicit-state "
-                   "checking of the behavioural monitor models"],
-            succeeded=all_hold and len(rows) == 21,
+                   "checking of the behavioural monitor models"]
+            + _failure_notes(outcome),
+            succeeded=outcome.all_ok() and len(rows) == 21,
         )
 
     return _timed(body)
@@ -163,26 +208,45 @@ def run_verification_cost() -> ExperimentResult:
 # E7: runtime overhead
 # --------------------------------------------------------------------------
 
-def run_runtime_overhead() -> ExperimentResult:
+def runtime_scenarios() -> List[ScenarioSpec]:
+    """The proved task under the APEX and ASAP monitors."""
+    return [
+        ScenarioSpec(
+            name="runtime-%s" % architecture,
+            firmware=FirmwareRef.of(
+                "busy_wait_pump", params=PumpParameters(dosage_cycles=200)),
+            config=TestbenchConfig(architecture=architecture),
+            mode="execution_only",
+            observe=(Observe("total_cycles", key="cycles"),),
+            meta={"configuration": architecture.upper()},
+        )
+        for architecture in ("apex", "asap")
+    ]
+
+
+def run_runtime_overhead(campaign: Optional[CampaignRunner] = None) -> ExperimentResult:
     """Measure proved-task cycles under APEX and ASAP monitors."""
 
     def body():
-        firmware = busy_wait_pump_firmware(PumpParameters(dosage_cycles=200))
-        cycles = {}
-        for architecture in ("apex", "asap"):
-            bench = PoxTestbench(firmware, TestbenchConfig(architecture=architecture))
-            bench.run_execution_only()
-            cycles[architecture] = bench.device.total_cycles
+        outcome = _campaign(campaign).run(runtime_scenarios())
+        errors = _failure_notes(outcome)
+        if any(result.error is not None for result in outcome):
+            return ExperimentResult(
+                "E7", "Runtime overhead of the proved task",
+                notes=errors, succeeded=False,
+            )
+        cycles = {result.meta["configuration"]: result.observations["cycles"]
+                  for result in outcome}
         rows = [
-            {"configuration": architecture.upper(), "cycles": value,
-             "overhead vs. unprotected": 0 if value == cycles["apex"] else
-             value - cycles["apex"]}
-            for architecture, value in cycles.items()
+            {"configuration": configuration, "cycles": value,
+             "overhead vs. unprotected": 0 if value == cycles["APEX"] else
+             value - cycles["APEX"]}
+            for configuration, value in cycles.items()
         ]
         return ExperimentResult(
             "E7", "Runtime overhead of the proved task", rows,
             notes=["paper: neither APEX nor ASAP adds execution time"],
-            succeeded=cycles["apex"] == cycles["asap"],
+            succeeded=cycles["APEX"] == cycles["ASAP"],
         )
 
     return _timed(body)
@@ -192,50 +256,80 @@ def run_runtime_overhead() -> ExperimentResult:
 # E8: busy-wait ablation
 # --------------------------------------------------------------------------
 
-def run_busywait_ablation(dosage_cycles=400, abort_step=30) -> ExperimentResult:
+def busywait_scenarios(dosage_cycles=400, abort_step=30) -> List[ScenarioSpec]:
+    """Interrupt-driven vs. busy-wait pump, plus the mid-dose abort."""
+    pump = PumpParameters(dosage_cycles=dosage_cycles)
+    step_counters = (Observe("active_steps", key="active steps"),
+                     Observe("sleep_steps", key="sleep steps"))
+    return [
+        ScenarioSpec(
+            name="pump-interrupt-driven",
+            firmware=FirmwareRef.of("syringe_pump", params=pump),
+            mode="execution_only",
+            observe=step_counters,
+            meta={"variant": "interrupt-driven (ASAP)"},
+        ),
+        ScenarioSpec(
+            name="pump-busy-wait",
+            firmware=FirmwareRef.of("busy_wait_pump", params=pump),
+            config=TestbenchConfig(architecture="apex"),
+            mode="execution_only",
+            observe=step_counters,
+            meta={"variant": "busy-wait (APEX workaround)"},
+        ),
+        ScenarioSpec(
+            name="pump-abort-mid-dose",
+            firmware=FirmwareRef.of("syringe_pump", params=pump),
+            events=(EventSpec("button_press", step=abort_step),),
+            observe=(
+                Observe("accepted"),
+                Observe("output_word", key="delivered",
+                        args=(PUMP_OUTPUT_LAYOUT["delivered"],)),
+            ),
+            expect={"accepted": True},
+            meta={"abort_step": abort_step, "dosage_cycles": dosage_cycles},
+        ),
+    ]
+
+
+def run_busywait_ablation(campaign: Optional[CampaignRunner] = None,
+                          dosage_cycles=400, abort_step=30) -> ExperimentResult:
     """Compare the interrupt-driven pump with the busy-wait workaround."""
 
     def body():
-        interrupt_bench = PoxTestbench(
-            syringe_pump_firmware(PumpParameters(dosage_cycles=dosage_cycles)),
-            TestbenchConfig(),
-        )
-        interrupt_bench.run_execution_only()
-        busy_bench = PoxTestbench(
-            busy_wait_pump_firmware(PumpParameters(dosage_cycles=dosage_cycles)),
-            TestbenchConfig(architecture="apex"),
-        )
-        busy_bench.run_execution_only()
-
-        def split(bench):
-            active = sum(1 for e in bench.trace_entries() if e.instruction != "(sleep)")
-            idle = sum(1 for e in bench.trace_entries() if e.instruction == "(sleep)")
-            return active, idle
-
-        interrupt_active, interrupt_idle = split(interrupt_bench)
-        busy_active, busy_idle = split(busy_bench)
-
-        abort_bench = PoxTestbench(
-            syringe_pump_firmware(PumpParameters(dosage_cycles=dosage_cycles)),
-            TestbenchConfig(),
-        )
-        abort_result = abort_bench.run_pox(
-            setup=lambda d: d.schedule_button_press(abort_step)
-        )
-        delivered = abort_bench.output_word(PUMP_OUTPUT_LAYOUT["delivered"])
-
+        outcome = _campaign(campaign).run(
+            busywait_scenarios(dosage_cycles=dosage_cycles, abort_step=abort_step))
+        errors = _failure_notes(outcome)
+        if any(result.error is not None for result in outcome):
+            return ExperimentResult(
+                "E8", "Busy-wait workaround vs. interrupt-driven pump",
+                notes=errors, succeeded=False,
+            )
+        interrupt_result, busy_result, abort_result = outcome
         rows = [
-            {"variant": "interrupt-driven (ASAP)", "active steps": interrupt_active,
-             "sleep steps": interrupt_idle, "abort supported": True},
-            {"variant": "busy-wait (APEX workaround)", "active steps": busy_active,
-             "sleep steps": busy_idle, "abort supported": False},
+            {"variant": interrupt_result.meta["variant"],
+             "active steps": interrupt_result.observations["active steps"],
+             "sleep steps": interrupt_result.observations["sleep steps"],
+             "abort supported": True},
+            {"variant": busy_result.meta["variant"],
+             "active steps": busy_result.observations["active steps"],
+             "sleep steps": busy_result.observations["sleep steps"],
+             "abort supported": False},
         ]
+        delivered = abort_result.observations["delivered"]
+        succeeded = (
+            interrupt_result.observations["sleep steps"]
+            > interrupt_result.observations["active steps"]
+            and busy_result.observations["sleep steps"] == 0
+            and abort_result.ok
+            and delivered < dosage_cycles
+        )
         return ExperimentResult(
             "E8", "Busy-wait workaround vs. interrupt-driven pump", rows,
             notes=["abort at step %d delivers %d/%d ticks, proof accepted: %s"
-                   % (abort_step, delivered, dosage_cycles, abort_result.accepted)],
-            succeeded=(interrupt_idle > interrupt_active and busy_idle == 0
-                       and abort_result.accepted and delivered < dosage_cycles),
+                   % (abort_step, delivered, dosage_cycles,
+                      abort_result.observations["accepted"])],
+            succeeded=succeeded,
         )
 
     return _timed(body)
@@ -245,19 +339,28 @@ def run_busywait_ablation(dosage_cycles=400, abort_step=30) -> ExperimentResult:
 # E9: security scenarios
 # --------------------------------------------------------------------------
 
-def run_security_scenarios() -> ExperimentResult:
+def security_scenarios() -> List[ScenarioSpec]:
+    """The adversarial attack gallery as a campaign (one spec per attack)."""
+    return [
+        ScenarioSpec(
+            name=scenario.name,
+            kind="attack",
+            attack=scenario.name,
+            expect={"detected": True},
+        )
+        for scenario in attack_suite()
+    ]
+
+
+def run_security_scenarios(campaign: Optional[CampaignRunner] = None) -> ExperimentResult:
     """Run the adversarial scenario suite."""
 
     def body():
-        rows = []
-        all_detected = True
-        for scenario in attack_suite():
-            outcome = scenario.run()
-            all_detected &= outcome.detected
-            rows.append(outcome.as_row())
+        outcome = _campaign(campaign).run(security_scenarios())
         return ExperimentResult(
-            "E9", "Adversarial scenarios (security argument)", rows,
-            succeeded=all_detected,
+            "E9", "Adversarial scenarios (security argument)", outcome.rows(),
+            notes=_failure_notes(outcome),
+            succeeded=outcome.all_ok(),
         )
 
     return _timed(body)
@@ -267,20 +370,49 @@ def run_security_scenarios() -> ExperimentResult:
 # All together
 # --------------------------------------------------------------------------
 
-def run_all_experiments(skip: Optional[List[str]] = None) -> List[ExperimentResult]:
-    """Run every experiment (optionally skipping some ids); return results."""
+#: The experiment registry: id -> runner(campaign).  Ordered; the CLI
+#: and :func:`run_all_experiments` iterate it live, so tests (and
+#: downstream code) can substitute entries.
+EXPERIMENT_RUNNERS: "OrderedDict[str, Callable[[Optional[CampaignRunner]], ExperimentResult]]" = OrderedDict([
+    ("E1-E3", run_fig5_waveforms),
+    ("E4-E5", run_fig6_overhead),
+    ("E6", run_verification_cost),
+    ("E7", run_runtime_overhead),
+    ("E8", run_busywait_ablation),
+    ("E9", run_security_scenarios),
+])
+
+
+def run_all_experiments(skip: Optional[List[str]] = None,
+                        campaign: Optional[CampaignRunner] = None,
+                        jobs: Optional[int] = None,
+                        backend: Optional[str] = None) -> List[ExperimentResult]:
+    """Run every experiment (optionally skipping some ids); return results.
+
+    Pass either a ready :class:`CampaignRunner` via *campaign* or the
+    *backend*/*jobs* pair to build one; by default everything runs
+    serially in-process.
+    """
     skip = set(skip or [])
-    runners = [
-        ("E1-E3", run_fig5_waveforms),
-        ("E4-E5", run_fig6_overhead),
-        ("E6", run_verification_cost),
-        ("E7", run_runtime_overhead),
-        ("E8", run_busywait_ablation),
-        ("E9", run_security_scenarios),
-    ]
+    if campaign is None:
+        campaign = CampaignRunner(backend=backend or "serial", jobs=jobs)
     results = []
-    for experiment_id, runner in runners:
+    for experiment_id, runner in EXPERIMENT_RUNNERS.items():
         if experiment_id in skip:
             continue
-        results.append(runner())
+        results.append(runner(campaign))
     return results
+
+
+def write_json(results: List[ExperimentResult], path) -> None:
+    """Export a list of experiment results as a JSON report file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump([result.to_dict() for result in results], handle, indent=2)
+        handle.write("\n")
+
+
+def load_json(path) -> List[ExperimentResult]:
+    """Load a JSON report written by :func:`write_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return [ExperimentResult(**entry) for entry in payload]

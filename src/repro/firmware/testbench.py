@@ -109,6 +109,21 @@ class PoxTestbench:
         self._enable_configured_interrupt_sources()
         self.protocol.provision()
 
+    @classmethod
+    def from_spec(cls, spec) -> "PoxTestbench":
+        """Build a testbench from a :class:`~repro.sim.scenario.ScenarioSpec`.
+
+        The spec is fully declarative -- a registered firmware-builder
+        name plus configuration overrides, no closures or live objects --
+        so it can cross a process boundary; everything unpicklable (the
+        device, the monitor, the protocol) is constructed here, on the
+        worker side.
+        """
+        if spec.firmware is None:
+            raise ValueError("scenario %r carries no firmware reference"
+                             % spec.name)
+        return cls(spec.firmware.build(), spec.testbench_config())
+
     # ------------------------------------------------------------ setup
 
     def _enable_configured_interrupt_sources(self):

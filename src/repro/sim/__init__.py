@@ -1,0 +1,49 @@
+"""The scenario-campaign engine.
+
+``repro.sim`` turns the simulator into a sweep machine: a
+:class:`ScenarioSpec` describes one (firmware x attack x configuration)
+scenario as picklable data, and a :class:`CampaignRunner` executes lists
+of them through a serial or process-pool backend with deterministic,
+spec-ordered results.  The experiment runners
+(:mod:`repro.experiments.runners`), the attack gallery and the campaign
+benchmark are all built on top of it; see ``README.md`` for a worked
+example.
+"""
+
+from repro.sim.scenario import (
+    EventSpec,
+    FirmwareRef,
+    Observe,
+    ScenarioContext,
+    ScenarioSpec,
+    StopSpec,
+    register_event_kind,
+    register_firmware_builder,
+    register_observer,
+)
+from repro.sim.runner import (
+    BACKENDS,
+    CampaignResult,
+    CampaignRunner,
+    ScenarioResult,
+    register_job,
+    run_scenario,
+)
+
+__all__ = [
+    "BACKENDS",
+    "CampaignResult",
+    "CampaignRunner",
+    "EventSpec",
+    "FirmwareRef",
+    "Observe",
+    "ScenarioContext",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "StopSpec",
+    "register_event_kind",
+    "register_firmware_builder",
+    "register_job",
+    "register_observer",
+    "run_scenario",
+]

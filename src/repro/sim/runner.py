@@ -1,0 +1,349 @@
+"""Scenario execution and the parallel campaign runner.
+
+:func:`run_scenario` executes one :class:`~repro.sim.scenario.ScenarioSpec`
+in complete isolation -- it builds a fresh testbench (or model, or attack
+body) from the declarative spec, runs it, extracts the requested
+observations and folds any exception into the returned
+:class:`ScenarioResult` instead of letting it escape.  Because both the
+spec and the result are plain picklable data and the worker function is
+a module-level callable, the same code path runs unchanged inside a
+``multiprocessing`` pool.
+
+:class:`CampaignRunner` sweeps a list of specs through a pluggable
+backend:
+
+* ``"serial"`` -- run in-process, one after another;
+* ``"process"`` -- fan out over a process pool (``--jobs`` workers),
+  with results returned in **spec order** regardless of completion
+  order, so serial and parallel campaigns are row-for-row identical.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.firmware.testbench import PoxTestbench
+from repro.sim.scenario import (
+    Observe,
+    ScenarioContext,
+    ScenarioSpec,
+    OBSERVERS,
+)
+
+#: Backends a :class:`CampaignRunner` accepts.
+BACKENDS = ("serial", "process")
+
+#: Default observations for ``kind="pox"`` scenarios that do not name
+#: any: verdict-shaped for modes that end in an attestation, run-shaped
+#: (step count + crash flag) for modes that never produce a protocol
+#: result.
+DEFAULT_POX_OBSERVE = (Observe("accepted"), Observe("exec_flag"))
+DEFAULT_RUN_OBSERVE = (Observe("steps"), Observe("crashed"))
+
+
+# --------------------------------------------------------------------------
+# Results
+# --------------------------------------------------------------------------
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario: observations, verdict and provenance."""
+
+    name: str
+    kind: str
+    observations: Dict[str, object] = field(default_factory=dict)
+    meta: Dict[str, object] = field(default_factory=dict)
+    expected: Dict[str, object] = field(default_factory=dict)
+    ok: bool = True
+    error: Optional[str] = None
+    elapsed_seconds: float = 0.0
+
+    @property
+    def row(self) -> Dict[str, object]:
+        """Flat table row: constant meta columns then observations."""
+        row = dict(self.meta)
+        row.update(self.observations)
+        return row
+
+    def failure_summary(self) -> Optional[str]:
+        """A one-line description of why the scenario is not ``ok``."""
+        if self.ok:
+            return None
+        if self.error is not None:
+            last_line = self.error.strip().splitlines()[-1]
+            return "%s raised: %s" % (self.name, last_line)
+        mismatches = [
+            "%s=%r (expected %r)" % (key, self.observations.get(key), value)
+            for key, value in self.expected.items()
+            if self.observations.get(key) != value
+        ]
+        return "%s expectation failed: %s" % (self.name, "; ".join(mismatches))
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of a campaign: one :class:`ScenarioResult` per spec, in
+    spec order, plus sweep-level accounting."""
+
+    results: List[ScenarioResult]
+    backend: str
+    jobs: int
+    elapsed_seconds: float = 0.0
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self):
+        return len(self.results)
+
+    def __getitem__(self, index):
+        return self.results[index]
+
+    def rows(self) -> List[Dict[str, object]]:
+        """All result rows, in spec order."""
+        return [result.row for result in self.results]
+
+    def all_ok(self) -> bool:
+        """``True`` when every scenario ran and met its expectations."""
+        return all(result.ok for result in self.results)
+
+    def failures(self) -> List[ScenarioResult]:
+        """The scenarios that errored or missed an expectation."""
+        return [result for result in self.results if not result.ok]
+
+    @property
+    def scenarios_per_second(self) -> float:
+        """Sweep throughput (the campaign benchmark's metric)."""
+        if self.elapsed_seconds <= 0:
+            return float("inf")
+        return len(self.results) / self.elapsed_seconds
+
+
+# --------------------------------------------------------------------------
+# Single-scenario execution (the worker function)
+# --------------------------------------------------------------------------
+
+def _run_pox_spec(spec: ScenarioSpec) -> Dict[str, object]:
+    """Execute a testbench scenario and return its observations."""
+    bench = PoxTestbench.from_spec(spec)
+    context = ScenarioContext(bench=bench)
+    if spec.mode == "pox":
+        context.pox_result = bench.run_pox(setup=spec.apply_events,
+                                           max_steps=spec.max_steps)
+    elif spec.mode == "execution_only":
+        bench.run_execution_only(setup=spec.apply_events,
+                                 max_steps=spec.max_steps)
+    elif spec.mode == "execution_attest":
+        bench.run_execution_only(setup=spec.apply_events,
+                                 max_steps=spec.max_steps)
+        if spec.post_steps:
+            bench.device.run_batch(spec.post_steps)
+        context.pox_result = bench.attest_and_verify()
+    elif spec.mode == "run":
+        spec.apply_events(bench.device)
+        if spec.stop is not None and spec.stop.kind == "pc":
+            bench.device.run_until_pc(spec.stop.value, max_steps=spec.max_steps)
+        else:
+            count = spec.stop.value if spec.stop is not None else spec.max_steps
+            bench.device.run_batch(count)
+    else:  # pragma: no cover - rejected by ScenarioSpec.__post_init__
+        raise ValueError("unknown mode %r" % spec.mode)
+
+    if spec.observe:
+        observe_list = spec.observe
+    elif spec.mode in ("pox", "execution_attest"):
+        observe_list = DEFAULT_POX_OBSERVE
+    else:
+        observe_list = DEFAULT_RUN_OBSERVE
+    observations: Dict[str, object] = {}
+    for observe in observe_list:
+        try:
+            observer = OBSERVERS[observe.name]
+        except KeyError:
+            raise KeyError(
+                "unknown observer %r (registered: %s)"
+                % (observe.name, ", ".join(sorted(OBSERVERS)))
+            ) from None
+        observations[observe.row_key] = observer(context, observe)
+    return observations
+
+
+def _run_attack_spec(spec: ScenarioSpec) -> Dict[str, object]:
+    """Run one named scenario from the attack gallery."""
+    from repro.firmware.attacks import attack_suite
+
+    name = spec.attack if spec.attack is not None else spec.name
+    for scenario in attack_suite():
+        if scenario.name == name:
+            outcome = scenario.run()
+            observations = outcome.as_row()
+            return observations
+    raise KeyError("unknown attack scenario %r" % name)
+
+
+#: Per-process cache of built LTL monitor models (a handful of models
+#: back the 21-property suite; rebuilding them per property is wasteful).
+_MODEL_CACHE: Dict[str, object] = {}
+_PROPERTY_INDEX: Dict[str, object] = {}
+
+
+def _run_ltl_spec(spec: ScenarioSpec) -> Dict[str, object]:
+    """Model-check one property of the ASAP verification suite."""
+    from repro.ltl.model_checker import ModelChecker
+    from repro.ltl.properties import MODEL_BUILDERS, asap_property_suite
+
+    if not _PROPERTY_INDEX:
+        _PROPERTY_INDEX.update(
+            (prop.name, prop) for prop in asap_property_suite()
+        )
+    name = spec.ltl_property if spec.ltl_property is not None else spec.name
+    try:
+        prop = _PROPERTY_INDEX[name]
+    except KeyError:
+        raise KeyError("unknown LTL property %r" % name) from None
+    model = _MODEL_CACHE.get(prop.model)
+    if model is None:
+        model = _MODEL_CACHE.setdefault(prop.model, MODEL_BUILDERS[prop.model]())
+    result = ModelChecker(model).check(prop.formula, name=prop.name)
+    return {
+        "property": prop.name,
+        "origin": prop.origin,
+        "holds": result.holds,
+        "states": result.states_explored,
+    }
+
+
+def _figure6_job() -> Dict[str, object]:
+    from repro.hwcost.report import figure6_comparison
+
+    comparison = figure6_comparison()
+    return {
+        "rows": comparison.rows(),
+        "lut_delta": comparison.lut_delta,
+        "register_delta": comparison.register_delta,
+    }
+
+
+#: Registered report jobs for ``kind="job"`` specs.
+JOBS: Dict[str, Callable[[], Dict[str, object]]] = {
+    "figure6": _figure6_job,
+}
+
+
+def register_job(name, function):
+    """Register a report job callable returning an observation dict."""
+    JOBS[name] = function
+    return function
+
+
+def _run_job_spec(spec: ScenarioSpec) -> Dict[str, object]:
+    name = spec.job if spec.job is not None else spec.name
+    try:
+        job = JOBS[name]
+    except KeyError:
+        raise KeyError("unknown job %r (registered: %s)"
+                       % (name, ", ".join(sorted(JOBS)))) from None
+    return job()
+
+
+_KIND_RUNNERS = {
+    "pox": _run_pox_spec,
+    "attack": _run_attack_spec,
+    "ltl": _run_ltl_spec,
+    "job": _run_job_spec,
+}
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Execute one scenario in isolation; never raises.
+
+    Any exception from the scenario body is captured into
+    ``result.error`` (full traceback) so one broken scenario cannot take
+    down a sweep -- or a worker process.
+    """
+    started = time.perf_counter()
+    result = ScenarioResult(
+        name=spec.name,
+        kind=spec.kind,
+        meta=spec.metadata(),
+        expected=spec.expectations(),
+    )
+    try:
+        result.observations = _KIND_RUNNERS[spec.kind](spec)
+        result.ok = all(
+            result.observations.get(key) == value
+            for key, value in result.expected.items()
+        )
+    except Exception:
+        result.error = traceback.format_exc()
+        result.ok = False
+    result.elapsed_seconds = time.perf_counter() - started
+    return result
+
+
+# --------------------------------------------------------------------------
+# The campaign runner
+# --------------------------------------------------------------------------
+
+def _process_context():
+    """The multiprocessing context for the process backend.
+
+    ``fork`` (cheap, inherits the warm interpreter) where available;
+    ``spawn`` elsewhere.  Specs and results are picklable and the worker
+    is a module-level function, so both start methods execute; note that
+    under ``spawn`` the workers re-import this package from scratch, so
+    runtime registrations (``register_firmware_builder`` and friends)
+    made in the parent are only visible to workers when they happen at
+    import time of a module the spec's execution path imports.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+class CampaignRunner:
+    """Run a list of :class:`ScenarioSpec` through a pluggable backend.
+
+    ``jobs`` defaults to the machine's CPU count; the serial backend
+    ignores it.  Results always come back in spec order (the process
+    backend uses an order-preserving ``Pool.map``), so campaigns are
+    reproducible and differential-testable across backends.
+    """
+
+    def __init__(self, backend: str = "serial", jobs: Optional[int] = None):
+        if backend not in BACKENDS:
+            raise ValueError("backend must be one of %s, got %r"
+                             % (", ".join(BACKENDS), backend))
+        if jobs is not None and jobs < 1:
+            raise ValueError("jobs must be >= 1, got %r" % jobs)
+        self.backend = backend
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+
+    def run(self, specs: Sequence[ScenarioSpec]) -> CampaignResult:
+        """Execute every spec; return a :class:`CampaignResult`."""
+        specs = list(specs)
+        started = time.perf_counter()
+        if self.backend == "process" and self.jobs > 1 and len(specs) > 1:
+            results = self._run_pool(specs)
+        else:
+            results = [run_scenario(spec) for spec in specs]
+        return CampaignResult(
+            results=results,
+            backend=self.backend,
+            jobs=self.jobs,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    def _run_pool(self, specs: List[ScenarioSpec]) -> List[ScenarioResult]:
+        context = _process_context()
+        processes = min(self.jobs, len(specs))
+        with context.Pool(processes=processes) as pool:
+            # chunksize=1: scenarios are coarse units of seconds, not
+            # microtasks; per-item dispatch gives the best load balance.
+            return pool.map(run_scenario, specs, chunksize=1)

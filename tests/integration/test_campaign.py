@@ -1,0 +1,137 @@
+"""Integration tests for the campaign runner and its backends.
+
+The acceptance bar for the scenario-campaign engine: the process
+backend must produce row-for-row identical results to the serial
+backend, in spec order, with per-scenario failures isolated.
+"""
+
+import pytest
+
+from repro.experiments import runners
+from repro.sim import (
+    CampaignRunner,
+    EventSpec,
+    FirmwareRef,
+    Observe,
+    ScenarioSpec,
+)
+
+
+def small_campaign():
+    """A mixed campaign touching every spec kind except jobs."""
+    specs = list(runners.fig5_scenarios())
+    specs.append(ScenarioSpec(name="benign-baseline", kind="attack",
+                              expect={"detected": True}))
+    specs.append(ScenarioSpec(name="ltl-vrased-key-no-dma", kind="ltl",
+                              ltl_property="vrased-key-no-dma",
+                              expect={"holds": True}))
+    return specs
+
+
+def comparable(result):
+    """Everything that must match across backends (timing excluded)."""
+    return (result.name, result.kind, result.ok, result.error,
+            result.observations, result.meta)
+
+
+class TestCampaignRunner:
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            CampaignRunner(backend="threads")
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            CampaignRunner(jobs=0)
+
+    def test_serial_results_preserve_spec_order(self):
+        specs = small_campaign()
+        outcome = CampaignRunner().run(specs)
+        assert [result.name for result in outcome] == [spec.name for spec in specs]
+        assert outcome.all_ok(), [f.failure_summary() for f in outcome.failures()]
+
+    def test_process_backend_matches_serial_row_for_row(self):
+        specs = small_campaign()
+        serial = CampaignRunner(backend="serial").run(specs)
+        process = CampaignRunner(backend="process", jobs=2).run(specs)
+        assert [comparable(r) for r in serial] == [comparable(r) for r in process]
+        assert process.backend == "process" and process.jobs == 2
+
+    def test_failures_are_isolated_per_scenario(self):
+        specs = [
+            runners.fig5_scenarios()[0],
+            ScenarioSpec(name="broken",
+                         firmware=FirmwareRef.of("no-such-firmware")),
+            ScenarioSpec(name="benign-baseline", kind="attack",
+                         expect={"detected": True}),
+        ]
+        for backend, jobs in (("serial", 1), ("process", 2)):
+            outcome = CampaignRunner(backend=backend, jobs=jobs).run(specs)
+            assert len(outcome) == 3
+            assert outcome[0].ok and outcome[2].ok
+            assert not outcome[1].ok
+            assert "no-such-firmware" in outcome[1].error
+            assert not outcome.all_ok()
+            assert [f.name for f in outcome.failures()] == ["broken"]
+
+    def test_campaign_result_accounting(self):
+        outcome = CampaignRunner().run(small_campaign()[:2])
+        assert len(outcome) == 2
+        assert outcome.rows() == [result.row for result in outcome]
+        assert outcome.elapsed_seconds > 0
+        assert outcome.scenarios_per_second > 0
+
+
+class TestExperimentBackendDifferential:
+    """``--backend process`` must reproduce serial results exactly."""
+
+    def test_all_experiments_identical_serial_vs_process(self):
+        serial = runners.run_all_experiments(backend="serial")
+        process = runners.run_all_experiments(backend="process", jobs=4)
+
+        def comparable(results):
+            return [(r.experiment_id, r.title, r.rows, r.notes, r.succeeded)
+                    for r in results]
+
+        assert comparable(serial) == comparable(process)
+        assert all(result.succeeded for result in serial)
+
+    def test_run_all_accepts_prebuilt_campaign(self):
+        campaign = CampaignRunner(backend="process", jobs=2)
+        results = runners.run_all_experiments(
+            skip=["E4-E5", "E6", "E8", "E9"], campaign=campaign)
+        assert [r.experiment_id for r in results] == ["E1-E3", "E7"]
+        assert all(result.succeeded for result in results)
+
+
+class TestEventSpecKinds:
+    def test_write_word_event_is_observed_by_monitor(self):
+        # Rewriting an IVT entry mid-execution must clear EXEC: the
+        # declarative write_word event goes through write_word_as_cpu,
+        # which the ASAP monitor observes like malware-executed MOVs.
+        from repro.memory.ivt import IVT_BASE
+
+        spec = ScenarioSpec(
+            name="declarative-ivt-write",
+            firmware=FirmwareRef.of("syringe_pump"),
+            events=(EventSpec("write_word", step=20, args=(IVT_BASE + 4, 0xE004)),),
+            observe=(Observe("accepted"), Observe("exec_flag")),
+            expect={"accepted": False, "exec_flag": 0},
+        )
+        outcome = CampaignRunner().run([spec])
+        assert outcome.all_ok(), outcome[0].failure_summary()
+
+    def test_dma_events_reproduce_gallery_attack(self):
+        from repro.memory.ivt import IVT_BASE
+
+        spec = ScenarioSpec(
+            name="declarative-dma-ivt",
+            firmware=FirmwareRef.of("syringe_pump"),
+            events=(
+                EventSpec("dma_configure", args=(0x0200, IVT_BASE + 4, 2)),
+                EventSpec("dma_trigger", step=20),
+            ),
+            observe=(Observe("accepted"),),
+            expect={"accepted": False},
+        )
+        outcome = CampaignRunner().run([spec])
+        assert outcome.all_ok(), outcome[0].failure_summary()

@@ -1,14 +1,20 @@
 """Integration tests for the programmatic experiment runners."""
 
+import json
+
 import pytest
 
 from repro.experiments import (
     ExperimentResult,
+    load_json,
+    run_all_experiments,
     run_busywait_ablation,
     run_fig5_waveforms,
     run_fig6_overhead,
     run_runtime_overhead,
+    write_json,
 )
+from repro.experiments import runners
 from repro.experiments.__main__ import ALL_IDS, main
 
 
@@ -60,3 +66,90 @@ class TestCommandLine:
         output = capsys.readouterr().out
         assert "Runtime overhead" in output
         assert "All 1 experiments" in output
+
+    def test_unknown_flag_rejected_with_exit_code_2(self, capsys):
+        # Regression: the pre-argparse CLI silently dropped any
+        # unrecognised ``-``-prefixed argument, so a typo like --liist
+        # ran every experiment and exited 0.
+        assert main(["--liist"]) == 2
+        assert "unrecognized arguments" in capsys.readouterr().err
+
+    def test_unknown_flag_with_valid_id_still_rejected(self, capsys):
+        assert main(["E7", "--bogus-flag"]) == 2
+
+    def test_bad_jobs_value_rejected(self, capsys):
+        assert main(["E7", "--jobs", "0"]) == 2
+        assert main(["E7", "--jobs", "nope"]) == 2
+
+    def test_multiple_ids_select_subset_in_order(self, capsys):
+        assert main(["E7", "E4-E5"]) == 0
+        output = capsys.readouterr().out
+        # Execution order follows the registry, not the argv order.
+        assert output.index("E4-E5") < output.index("E7 ")
+        assert "All 2 experiments" in output
+
+    def test_json_export_round_trips(self, capsys, tmp_path):
+        path = tmp_path / "report.json"
+        assert main(["E7", "E4-E5", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert [entry["experiment_id"] for entry in payload] == ["E4-E5", "E7"]
+        assert all(entry["succeeded"] for entry in payload)
+        # load_json reconstructs equivalent results: same rows, row for row.
+        direct = run_all_experiments(skip=[i for i in ALL_IDS
+                                           if i not in ("E4-E5", "E7")])
+        loaded = load_json(path)
+        assert [r.rows for r in loaded] == [r.rows for r in direct]
+
+    def test_failing_experiment_exits_nonzero(self, capsys, monkeypatch):
+        def failing_runner(campaign=None):
+            return ExperimentResult("E7", "forced failure", succeeded=False)
+
+        monkeypatch.setitem(runners.EXPERIMENT_RUNNERS, "E7", failing_runner)
+        assert main(["E7"]) == 1
+        assert "FAILED experiments: E7" in capsys.readouterr().out
+
+    def test_process_backend_flags_accepted(self, capsys):
+        assert main(["E7", "--backend", "process", "--jobs", "2"]) == 0
+        assert "All 1 experiments" in capsys.readouterr().out
+
+    def test_cli_reads_the_registry_live(self, capsys, monkeypatch):
+        def extra_runner(campaign=None):
+            return ExperimentResult("E10", "registered after import")
+
+        registry = dict(runners.EXPERIMENT_RUNNERS)
+        registry["E10"] = extra_runner
+        monkeypatch.setattr(runners, "EXPERIMENT_RUNNERS", registry)
+        assert main(["--list"]) == 0
+        assert "E10" in capsys.readouterr().out.split()
+        assert main(["E10"]) == 0
+        assert "All 1 experiments" in capsys.readouterr().out
+
+
+class TestRunAllExperiments:
+    def test_skip_subsets_the_registry(self):
+        results = run_all_experiments(skip=["E4-E5", "E6", "E8", "E9"])
+        assert [r.experiment_id for r in results] == ["E1-E3", "E7"]
+        assert all(r.succeeded for r in results)
+
+    def test_skip_everything_runs_nothing(self):
+        assert run_all_experiments(skip=list(ALL_IDS)) == []
+
+    def test_write_and_load_json_helpers(self, tmp_path):
+        results = [ExperimentResult("EX", "title", rows=[{"a": 1}],
+                                    notes=["n"], succeeded=True)]
+        path = tmp_path / "out.json"
+        write_json(results, path)
+        loaded = load_json(path)
+        assert len(loaded) == 1
+        assert loaded[0].experiment_id == "EX"
+        assert loaded[0].rows == [{"a": 1}]
+        assert loaded[0].notes == ["n"]
+
+    def test_scenario_lists_are_plain_data(self):
+        import pickle
+
+        for scenarios in (runners.fig5_scenarios(), runners.runtime_scenarios(),
+                          runners.busywait_scenarios(), runners.security_scenarios(),
+                          runners.verification_scenarios(), runners.fig6_scenarios()):
+            clone = pickle.loads(pickle.dumps(scenarios))
+            assert clone == scenarios

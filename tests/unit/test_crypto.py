@@ -59,6 +59,32 @@ class TestSha256:
     def test_digest_size(self):
         assert len(sha256(b"x")) == 32
 
+    def test_many_small_chunks_match_hashlib(self):
+        # The UART-fed attestation pattern: thousands of tiny updates.
+        # The buffer is a bytearray so this stays linear in total size;
+        # the digest must still match hashlib whatever the chunking.
+        message = bytes(range(256)) * 20
+        for chunk_size in (1, 3, 7, 63, 64, 65):
+            hasher = Sha256()
+            for offset in range(0, len(message), chunk_size):
+                hasher.update(message[offset:offset + chunk_size])
+            assert hasher.digest() == hashlib.sha256(message).digest(), chunk_size
+
+    def test_interleaved_digest_copy_and_chunked_update(self):
+        reference = hashlib.sha256()
+        hasher = Sha256()
+        for piece in (b"a" * 5, b"b" * 70, b"c" * 1, b"d" * 64, b"e" * 200):
+            hasher.update(piece)
+            reference.update(piece)
+            assert hasher.digest() == reference.digest()
+            assert hasher.copy().digest() == reference.digest()
+
+    def test_buffer_stays_below_one_block(self):
+        hasher = Sha256()
+        for _ in range(1000):
+            hasher.update(b"x" * 17)
+        assert len(hasher._buffer) < 64
+
 
 class TestHmac:
     def test_rfc4231_test_case_1(self):
