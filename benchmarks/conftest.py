@@ -14,6 +14,8 @@ tier-1 suite can be run without the long benchmark tail via
 
 from __future__ import annotations
 
+import json
+import os
 from pathlib import Path
 
 import pytest
@@ -50,3 +52,24 @@ def print_table(title, rows):
 def table_printer():
     """Fixture exposing :func:`print_table` to benchmark tests."""
     return print_table
+
+
+def write_bench_json(name, payload):
+    """Write *payload* as machine-readable benchmark results.
+
+    The file lands in ``$REPRO_BENCH_DIR`` (default: the current
+    working directory); CI uploads ``BENCH_*.json`` as artifacts so the
+    perf trajectory is tracked per PR.  Returns the written path.
+    """
+    directory = Path(os.environ.get("REPRO_BENCH_DIR", "."))
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / name
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print("\nwrote %s" % path)
+    return path
+
+
+@pytest.fixture
+def bench_json():
+    """Fixture exposing :func:`write_bench_json` to benchmark tests."""
+    return write_bench_json

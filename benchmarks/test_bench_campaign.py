@@ -9,8 +9,15 @@ process-pool backend at increasing job counts.
 On a multi-core box the process backend must reach >= 2x the serial
 wall clock at 4 jobs; on single-core CI runners the scaling assertion
 is skipped (there is nothing to scale onto) and the table is recorded
-for the trajectory only.  Row-for-row identity between the backends is
-pinned separately by ``tests/integration/test_campaign.py``.
+for the trajectory only.  Row-for-row identity between the backends
+(serial/thread/process/warm) is pinned separately by
+``tests/integration/test_campaign.py``.
+
+The table also records the ``thread`` backend (share-nothing correct,
+but GIL-bound -- it only scales on free-threaded runtimes, which is
+why it exists) and the warm persistent process pool, whose workers
+keep their per-process caches (assembled firmware images, LTL models,
+HMAC key states) across campaigns.
 
 Run with ``pytest benchmarks/test_bench_campaign.py --benchmark-only -s``.
 """
@@ -23,7 +30,7 @@ import time
 import pytest
 
 from repro.experiments.runners import security_scenarios
-from repro.sim import CampaignRunner
+from repro.sim import CampaignRunner, shutdown_warm_pools
 
 #: Required wall-clock speedup of 4 process jobs over serial (only
 #: asserted when the machine actually has >= 4 CPUs).
@@ -32,38 +39,52 @@ REQUIRED_SPEEDUP = 2.0
 REPEATS = 2
 
 
-def _sweep_seconds(backend, jobs):
+def _sweep_seconds(backend, jobs, warm=False):
     specs = security_scenarios()
     best = float("inf")
     for _ in range(REPEATS):
-        runner = CampaignRunner(backend=backend, jobs=jobs)
+        runner = CampaignRunner(backend=backend, jobs=jobs, warm=warm)
         outcome = runner.run(specs)
         assert outcome.all_ok(), [f.failure_summary() for f in outcome.failures()]
         best = min(best, outcome.elapsed_seconds)
     return best, len(specs)
 
 
-def test_campaign_scaling_attack_gallery(benchmark, table_printer):
-    """Scenarios/sec of the E6/E9 attack-gallery sweep vs. job count."""
+def test_campaign_scaling_attack_gallery(benchmark, table_printer, bench_json):
+    """Scenarios/sec of the E6/E9 attack-gallery sweep vs. backend/jobs."""
     serial_seconds, scenario_count = _sweep_seconds("serial", 1)
-    rows = [{
-        "backend": "serial", "jobs": 1,
-        "wall clock (s)": "%.2f" % serial_seconds,
-        "scenarios/sec": "%.1f" % (scenario_count / serial_seconds),
-        "speedup": "1.00x",
-    }]
-    process_seconds = {}
-    for jobs in (2, 4):
-        seconds, _ = _sweep_seconds("process", jobs)
-        process_seconds[jobs] = seconds
+    timings = {("serial", 1, False): serial_seconds}
+    for backend, jobs, warm in (("thread", 4, False),
+                                ("process", 2, False),
+                                ("process", 4, False),
+                                ("process", 4, True)):
+        timings[(backend, jobs, warm)], _ = _sweep_seconds(backend, jobs,
+                                                           warm=warm)
+    shutdown_warm_pools()
+
+    rows = []
+    json_rows = []
+    for (backend, jobs, warm), seconds in timings.items():
+        label = backend + ("+warm" if warm else "")
         rows.append({
-            "backend": "process", "jobs": jobs,
+            "backend": label, "jobs": jobs,
             "wall clock (s)": "%.2f" % seconds,
             "scenarios/sec": "%.1f" % (scenario_count / seconds),
             "speedup": "%.2fx" % (serial_seconds / seconds),
         })
+        json_rows.append({
+            "backend": backend, "jobs": jobs, "warm": warm,
+            "wall_clock_sec": seconds,
+            "scenarios_per_sec": scenario_count / seconds,
+        })
     table_printer("Campaign throughput (E9 attack gallery, %d scenarios)"
                   % scenario_count, rows)
+    bench_json("BENCH_campaign.json", {
+        "benchmark": "campaign_scaling_attack_gallery",
+        "scenario_count": scenario_count,
+        "cpus": os.cpu_count() or 1,
+        "rows": json_rows,
+    })
 
     benchmark.pedantic(
         lambda: CampaignRunner().run(security_scenarios()[:2]),
@@ -72,10 +93,15 @@ def test_campaign_scaling_attack_gallery(benchmark, table_printer):
 
     cpus = os.cpu_count() or 1
     if cpus >= 4:
-        speedup = serial_seconds / process_seconds[4]
+        speedup = serial_seconds / timings[("process", 4, False)]
         assert speedup >= REQUIRED_SPEEDUP, (
             "expected >= %.1fx at 4 jobs on a %d-CPU machine, got %.2fx"
             % (REQUIRED_SPEEDUP, cpus, speedup))
+        # The warm pool amortises worker start-up and link/model cache
+        # warm-up; it must at least keep pace with the cold pool.
+        warm_speedup = timings[("process", 4, False)] / timings[("process", 4, True)]
+        assert warm_speedup >= 0.85, (
+            "warm pool fell behind the cold pool: %.2fx" % warm_speedup)
     else:
         print("(%d CPU(s): recording the trajectory only, scaling "
               "assertion skipped)" % cpus)

@@ -34,7 +34,9 @@ def campaign_demo():
 
     ``ScenarioSpec`` is picklable plain data, so the same list can run
     through ``CampaignRunner(backend="process", jobs=4)`` for parallel
-    sweeps -- results come back in spec order either way.
+    sweeps (add ``warm=True`` to keep the workers -- and their cached
+    firmware images -- alive across campaigns), or ``backend="thread"``
+    on GIL-free runtimes.  Results come back in spec order either way.
     """
     specs = [
         ScenarioSpec(
@@ -54,6 +56,18 @@ def campaign_demo():
 
 
 def main():
+    # The attestation HMAC runs on a pluggable SHA-256 backend: "fast"
+    # (hashlib, the default) or "pure" (the in-tree reference, ~1900x
+    # slower on full-memory measurements, byte-identical output).
+    # Select per process, per scope, or via REPRO_CRYPTO_BACKEND=pure:
+    #
+    #   from repro import set_crypto_backend, use_crypto_backend
+    #   set_crypto_backend("pure")      # process-wide; None reverts
+    #   with use_crypto_backend("pure"):
+    #       ...                         # scoped (tests, benchmarks)
+    from repro.crypto import backend_name
+    print("crypto backend:", backend_name())
+
     # The Fig. 4 firmware: a dummy loop inside ER plus a trusted GPIO ISR.
     #
     # Performance knobs (all forwarded to DeviceConfig):
@@ -64,6 +78,8 @@ def main():
     #       for raw simulation speed (waveforms then stay empty).
     #   trace_limit=None            -- bound the trace to the last N steps
     #       (ring buffer) so soak runs cannot grow memory without limit.
+    #   link_cache_enabled=True     -- reuse linked firmware images across
+    #       testbenches built from the same source (per-process cache).
     firmware = blinker_firmware(authorized=True)
     bench = PoxTestbench(firmware, TestbenchConfig(architecture="asap"))
 

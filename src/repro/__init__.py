@@ -15,7 +15,16 @@ the reproduced tables and figures.
 from repro.memory import Memory, MemoryLayout, MemoryRegion, InterruptVectorTable
 from repro.isa import Assembler, AssembledImage
 from repro.device import Device, DeviceConfig, TraceRecorder, Waveform
-from repro.crypto import KeyStore, DeviceKey, hmac_sha256, sha256
+from repro.crypto import (
+    KeyStore,
+    DeviceKey,
+    Hmac,
+    HmacKey,
+    hmac_sha256,
+    sha256,
+    set_backend as set_crypto_backend,
+    use_backend as use_crypto_backend,
+)
 from repro.vrased import (
     VrasedConfig,
     VrasedMonitor,
@@ -73,6 +82,7 @@ from repro.sim import (
     ScenarioSpec,
     StopSpec,
     run_scenario,
+    shutdown_warm_pools,
 )
 
 __version__ = "1.0.0"
@@ -90,8 +100,12 @@ __all__ = [
     "Waveform",
     "KeyStore",
     "DeviceKey",
+    "Hmac",
+    "HmacKey",
     "hmac_sha256",
     "sha256",
+    "set_crypto_backend",
+    "use_crypto_backend",
     "VrasedConfig",
     "VrasedMonitor",
     "SwAtt",
@@ -136,5 +150,6 @@ __all__ = [
     "ScenarioSpec",
     "StopSpec",
     "run_scenario",
+    "shutdown_warm_pools",
     "__version__",
 ]

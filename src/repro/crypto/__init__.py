@@ -1,21 +1,45 @@
 """Cryptographic primitives used by the attestation stack.
 
 VRASED's software attestation routine computes an HMAC over the attested
-memory; APEX and ASAP inherit that construction.  The primitives here are
-implemented from scratch (SHA-256 compression function, HMAC, HKDF-style
-key derivation, constant-time comparison) and validated against
-``hashlib`` in the test suite, so the attestation substrate has no
-behavioural dependency on the host's crypto libraries.
+memory; APEX and ASAP inherit that construction.  Two interchangeable
+SHA-256 backends sit behind one registry (:mod:`repro.crypto.backend`):
+the from-scratch ``"pure"`` reference implementation and a
+:mod:`hashlib`-backed ``"fast"`` backend (the default), selected via
+``REPRO_CRYPTO_BACKEND`` / :func:`set_backend` / :func:`use_backend`.
+Differential tests pin both byte-identical on every experiment vector
+and chunking, so the attestation substrate keeps a self-contained,
+auditable reference while the hot path runs at host speed.
 """
 
-from repro.crypto.sha256 import Sha256, sha256
-from repro.crypto.hmac import Hmac, hmac_sha256, verify_hmac
-from repro.crypto.keys import KeyStore, DeviceKey, derive_key, constant_time_compare
+from repro.crypto.backend import (
+    BACKENDS as CRYPTO_BACKENDS,
+    HashlibSha256,
+    backend_name,
+    hasher_class,
+    new_sha256,
+    register_backend,
+    set_backend,
+    sha256,
+    use_backend,
+)
+from repro.crypto.compare import constant_time_compare
+from repro.crypto.sha256 import Sha256
+from repro.crypto.hmac import Hmac, HmacKey, hmac_sha256, verify_hmac
+from repro.crypto.keys import KeyStore, DeviceKey, derive_key
 
 __all__ = [
+    "CRYPTO_BACKENDS",
+    "HashlibSha256",
     "Sha256",
+    "backend_name",
+    "hasher_class",
+    "new_sha256",
+    "register_backend",
+    "set_backend",
     "sha256",
+    "use_backend",
     "Hmac",
+    "HmacKey",
     "hmac_sha256",
     "verify_hmac",
     "KeyStore",

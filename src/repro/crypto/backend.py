@@ -1,0 +1,150 @@
+"""Pluggable SHA-256 backends for the attestation data path.
+
+Every paper experiment bottoms out in ``HMAC(K_att, Chal || attested
+memory)``, so the hash primitive is the hottest non-simulation code in
+the tree.  This module keeps two interchangeable implementations behind
+one registry:
+
+* ``"pure"`` -- the from-scratch :class:`~repro.crypto.sha256.Sha256`
+  reference (auditable, dependency-free, slow);
+* ``"fast"`` -- :class:`HashlibSha256`, a thin wrapper over the host's
+  :mod:`hashlib` with the same incremental API (the default).
+
+Differential tests pin both backends byte-identical on every experiment
+vector and random chunking, so selecting one is purely a performance
+decision.  Selection, most specific first:
+
+1. an explicit ``backend=`` argument at the call site,
+2. :func:`set_backend` / the :func:`use_backend` context manager,
+3. the ``REPRO_CRYPTO_BACKEND`` environment variable,
+4. the default (``"fast"``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from contextlib import contextmanager
+
+from repro.crypto.sha256 import Sha256
+
+#: Environment variable selecting the process-wide default backend.
+ENV_VAR = "REPRO_CRYPTO_BACKEND"
+
+#: Backend used when nothing else selects one.
+DEFAULT_BACKEND = "fast"
+
+
+class HashlibSha256:
+    """:mod:`hashlib`-backed SHA-256 with the in-tree ``Sha256`` API.
+
+    ``update`` passes buffers (``bytes``/``bytearray``/``memoryview``)
+    straight to the C implementation -- no copy -- which is what makes
+    the zero-copy attestation path fast end to end.
+    """
+
+    digest_size = 32
+    block_size = 64
+
+    __slots__ = ("_hasher",)
+
+    def __init__(self, data=b""):
+        self._hasher = hashlib.sha256()
+        if data:
+            self.update(data)
+
+    def update(self, data):
+        """Absorb *data* (bytes-like) into the hash state."""
+        try:
+            self._hasher.update(data)
+        except (TypeError, BufferError):
+            # Mirror the reference backend's tolerance for any object
+            # bytes() accepts (a list of ints raises TypeError, a
+            # non-contiguous memoryview raises BufferError).
+            self._hasher.update(bytes(data))
+        return self
+
+    def copy(self):
+        """Return an independent copy of the current hash state."""
+        clone = HashlibSha256.__new__(HashlibSha256)
+        clone._hasher = self._hasher.copy()
+        return clone
+
+    def digest(self):
+        """Return the 32-byte digest of everything absorbed so far."""
+        return self._hasher.digest()
+
+    def hexdigest(self):
+        """Return the digest as a hexadecimal string."""
+        return self._hasher.hexdigest()
+
+
+#: The backend registry: name -> incremental-hasher class.
+BACKENDS = {
+    "pure": Sha256,
+    "fast": HashlibSha256,
+}
+
+#: Explicit process-wide selection (set_backend/use_backend); ``None``
+#: defers to the environment variable / default.
+_active = None
+
+
+def register_backend(name, hasher_factory):
+    """Register *hasher_factory* (an incremental-hasher class) under *name*."""
+    BACKENDS[name] = hasher_factory
+    return hasher_factory
+
+
+def backend_name():
+    """The name of the backend new hashers will use."""
+    if _active is not None:
+        return _active
+    return os.environ.get(ENV_VAR, DEFAULT_BACKEND) or DEFAULT_BACKEND
+
+
+def hasher_class(backend=None):
+    """Resolve *backend* (default: the active one) to a hasher class.
+
+    :raises ValueError: for names missing from the registry (including
+        a typoed ``REPRO_CRYPTO_BACKEND``), so a misconfiguration fails
+        loudly at the first hash instead of silently running slow.
+    """
+    name = backend if backend is not None else backend_name()
+    try:
+        return BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            "unknown crypto backend %r (registered: %s)"
+            % (name, ", ".join(sorted(BACKENDS)))
+        ) from None
+
+
+def set_backend(name):
+    """Select the process-wide backend (``None`` defers to the environment)."""
+    global _active
+    if name is not None:
+        hasher_class(name)  # validate eagerly
+    _active = name
+
+
+@contextmanager
+def use_backend(name):
+    """Context manager scoping a backend selection (tests, benchmarks)."""
+    global _active
+    previous = _active
+    set_backend(name)
+    try:
+        yield hasher_class(name)
+    finally:
+        _active = previous
+
+
+def new_sha256(data=b"", backend=None):
+    """Return a fresh incremental hasher from the selected backend."""
+    return hasher_class(backend)(data)
+
+
+def sha256(data, backend=None):
+    """One-shot SHA-256 through the selected backend."""
+    return hasher_class(backend)(data).digest()

@@ -1,0 +1,26 @@
+"""Constant-time byte-string comparison.
+
+The single implementation shared by the protocol layer
+(:func:`repro.crypto.keys.constant_time_compare` re-exports it) and by
+:func:`repro.crypto.hmac.verify_hmac`: tag and token checks must not
+leak how many leading bytes matched through their running time.
+"""
+
+from __future__ import annotations
+
+
+def constant_time_compare(a, b):
+    """Compare two byte strings without early exit.
+
+    A length mismatch returns ``False`` immediately -- lengths are
+    public (tag sizes are fixed by the construction); only the *content*
+    comparison must not short-circuit.
+    """
+    a = bytes(a)
+    b = bytes(b)
+    if len(a) != len(b):
+        return False
+    difference = 0
+    for byte_a, byte_b in zip(a, b):
+        difference |= byte_a ^ byte_b
+    return difference == 0

@@ -1,30 +1,70 @@
-"""HMAC-SHA-256 (RFC 2104) built on the in-tree SHA-256.
+"""HMAC-SHA-256 (RFC 2104) over the pluggable SHA-256 backends.
 
 VRASED's SW-Att computes ``HMAC(K, Chal || attested memory)``; APEX and
 ASAP extend the attested memory with the EXEC flag, metadata, ER and OR.
+
+Keying a MAC costs two compression runs (absorbing the ipad- and
+opad-masked key blocks).  :class:`HmacKey` pays that once and mints
+per-message MACs from copies of the precomputed state, so a long-lived
+key -- a device's attestation sub-key across a campaign of reports --
+never re-derives its pads.
 """
 
 from __future__ import annotations
 
-from repro.crypto.sha256 import Sha256
+from repro.crypto.backend import hasher_class
+from repro.crypto.compare import constant_time_compare
 
 _BLOCK_SIZE = 64
-_IPAD = 0x36
-_OPAD = 0x5C
+#: Translation tables XOR-ing every byte with the RFC 2104 pads; one
+#: C-level ``bytes.translate`` beats a per-byte generator.
+_IPAD_TABLE = bytes(byte ^ 0x36 for byte in range(256))
+_OPAD_TABLE = bytes(byte ^ 0x5C for byte in range(256))
+
+
+class HmacKey:
+    """A precomputed HMAC-SHA-256 key: ipad/opad state absorbed once.
+
+    Bound to the backend active at construction time; the tags it
+    produces are byte-identical across backends either way (pinned by
+    the differential tests).
+    """
+
+    __slots__ = ("_inner0", "_outer0")
+
+    def __init__(self, key, backend=None):
+        hasher = hasher_class(backend)
+        key = bytes(key)
+        if len(key) > _BLOCK_SIZE:
+            key = hasher(key).digest()
+        key = key.ljust(_BLOCK_SIZE, b"\x00")
+        self._inner0 = hasher(key.translate(_IPAD_TABLE))
+        self._outer0 = hasher(key.translate(_OPAD_TABLE))
+
+    def mac(self, data=b"") -> "Hmac":
+        """Mint an incremental :class:`Hmac` from the precomputed state."""
+        return Hmac(self, data)
+
+    def tag(self, data):
+        """One-shot tag of *data* under this key."""
+        return Hmac(self, data).digest()
 
 
 class Hmac:
-    """Incremental HMAC-SHA-256."""
+    """Incremental HMAC-SHA-256.
+
+    *key* is either raw key bytes or a precomputed :class:`HmacKey`
+    (which skips the per-MAC pad absorption).
+    """
 
     digest_size = 32
 
+    __slots__ = ("_inner", "_outer0")
+
     def __init__(self, key, data=b""):
-        key = bytes(key)
-        if len(key) > _BLOCK_SIZE:
-            key = Sha256(key).digest()
-        key = key.ljust(_BLOCK_SIZE, b"\x00")
-        self._outer_key = bytes(byte ^ _OPAD for byte in key)
-        self._inner = Sha256(bytes(byte ^ _IPAD for byte in key))
+        key_state = key if isinstance(key, HmacKey) else HmacKey(key)
+        self._inner = key_state._inner0.copy()
+        self._outer0 = key_state._outer0
         if data:
             self.update(data)
 
@@ -36,13 +76,13 @@ class Hmac:
     def copy(self):
         """Return an independent copy of the MAC state."""
         clone = Hmac.__new__(Hmac)
-        clone._outer_key = self._outer_key
         clone._inner = self._inner.copy()
+        clone._outer0 = self._outer0
         return clone
 
     def digest(self):
         """Return the 32-byte tag."""
-        outer = Sha256(self._outer_key)
+        outer = self._outer0.copy()
         outer.update(self._inner.digest())
         return outer.digest()
 
@@ -58,10 +98,4 @@ def hmac_sha256(key, data):
 
 def verify_hmac(key, data, tag):
     """Constant-time verification of *tag* against ``HMAC(key, data)``."""
-    expected = hmac_sha256(key, data)
-    if len(expected) != len(tag):
-        return False
-    difference = 0
-    for a, b in zip(expected, bytes(tag)):
-        difference |= a ^ b
-    return difference == 0
+    return constant_time_compare(hmac_sha256(key, data), tag)

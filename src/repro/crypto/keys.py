@@ -12,8 +12,12 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, Optional
 
+# Re-exported here for the protocol layer; the single implementation
+# lives in repro.crypto.compare (shared with verify_hmac).
+from repro.crypto.compare import constant_time_compare
 from repro.crypto.hmac import hmac_sha256
 
 
@@ -21,16 +25,16 @@ from repro.crypto.hmac import hmac_sha256
 KEY_LENGTH = 32
 
 
-def constant_time_compare(a, b):
-    """Compare two byte strings without early exit."""
-    a = bytes(a)
-    b = bytes(b)
-    if len(a) != len(b):
-        return False
-    difference = 0
-    for byte_a, byte_b in zip(a, b):
-        difference |= byte_a ^ byte_b
-    return difference == 0
+@lru_cache(maxsize=512)
+def _expand(master_key, label, length):
+    """The memoised HKDF-Expand body (keys are deterministic per input,
+    and a verifier re-derives the same sub-keys for every report)."""
+    output = b""
+    counter = 1
+    while len(output) < length:
+        output += hmac_sha256(master_key, label + bytes([counter]))
+        counter += 1
+    return output[:length]
 
 
 def derive_key(master_key, label, length=KEY_LENGTH):
@@ -38,16 +42,12 @@ def derive_key(master_key, label, length=KEY_LENGTH):
 
     A single-block HKDF-Expand style construction: successive HMAC
     invocations over ``label || counter`` concatenated until *length*
-    bytes are available.
+    bytes are available.  Results are memoised -- attestation-heavy
+    campaigns derive the same sub-key for every report.
     """
     if isinstance(label, str):
         label = label.encode("utf-8")
-    output = b""
-    counter = 1
-    while len(output) < length:
-        output += hmac_sha256(master_key, label + bytes([counter]))
-        counter += 1
-    return output[:length]
+    return _expand(bytes(master_key), bytes(label), length)
 
 
 @dataclass(frozen=True)

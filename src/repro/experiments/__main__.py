@@ -47,8 +47,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--jobs", type=int, default=None, metavar="N",
-        help="worker processes for the process backend "
+        help="workers for the thread/process backends "
              "(default: the machine's CPU count)",
+    )
+    parser.add_argument(
+        "--warm-pool", action="store_true", dest="warm_pool",
+        help="keep process-pool workers alive across campaigns so they "
+             "reuse cached firmware images (process backend only)",
     )
     parser.add_argument(
         "--json", dest="json_path", metavar="PATH", default=None,
@@ -87,8 +92,12 @@ def main(argv=None):
     if args.jobs is not None and args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
         return 2
+    if args.warm_pool and args.backend != "process":
+        print("--warm-pool requires --backend process", file=sys.stderr)
+        return 2
 
-    campaign = CampaignRunner(backend=args.backend, jobs=args.jobs)
+    campaign = CampaignRunner(backend=args.backend, jobs=args.jobs,
+                              warm=args.warm_pool)
     results = runners.run_all_experiments(skip=skip, campaign=campaign)
     for result in results:
         print(result.render())

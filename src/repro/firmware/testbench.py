@@ -35,6 +35,32 @@ class FirmwareSpec:
     description: str = ""
 
 
+#: Per-process cache of linked firmware images.  Linking (two-pass
+#: assembly plus section placement) dominates testbench construction,
+#: and campaign workers -- especially persistent warm-pool workers --
+#: rebuild the same handful of images for every scenario.  Sharing a
+#: :class:`~repro.core.linker.LinkedFirmware` across testbenches is
+#: safe: it is read-only after linking (``load_into`` copies bytes out
+#: of the image into the device, never the other way around), and the
+#: cache key covers everything that influences the link.
+_LINK_CACHE: Dict[tuple, object] = {}
+
+
+def _link_cache_key(firmware: FirmwareSpec, er_base: int) -> tuple:
+    return (
+        firmware.source,
+        tuple(sorted(firmware.trusted_isrs.items())),
+        tuple(sorted(firmware.untrusted_isrs.items())),
+        firmware.reset_symbol,
+        er_base,
+    )
+
+
+def clear_link_cache():
+    """Drop every cached linked firmware image (tests, memory pressure)."""
+    _LINK_CACHE.clear()
+
+
 @dataclass
 class TestbenchConfig:
     """Geometry and architecture selection for a :class:`PoxTestbench`."""
@@ -55,6 +81,10 @@ class TestbenchConfig:
     #: instruction cache (on by default) and the optional trace bound.
     decode_cache_enabled: bool = True
     trace_limit: Optional[int] = None
+    #: Reuse linked firmware images across testbenches built from the
+    #: same source/ISRs/ER base (per-process cache; the image is
+    #: read-only after linking).  Disable to force a fresh link.
+    link_cache_enabled: bool = True
 
     def __post_init__(self):
         if self.architecture not in ("asap", "apex"):
@@ -75,12 +105,7 @@ class PoxTestbench:
             trace_limit=self.config.trace_limit,
         ))
         self.linker = ErLinker(layout=self.device.layout, er_base=self.config.er_base)
-        self.firmware = self.linker.link(
-            firmware.source,
-            trusted_isrs=firmware.trusted_isrs,
-            untrusted_isrs=firmware.untrusted_isrs,
-            reset_symbol=firmware.reset_symbol,
-        )
+        self.firmware = self._linked_firmware(firmware)
         self.pox_config = PoxConfig(
             executable=self.firmware.executable,
             output=OutputRegion.spanning(self.config.or_start, self.config.or_end),
@@ -125,6 +150,26 @@ class PoxTestbench:
         return cls(spec.firmware.build(), spec.testbench_config())
 
     # ------------------------------------------------------------ setup
+
+    def _linked_firmware(self, firmware: FirmwareSpec):
+        """Link *firmware* (through the per-process cache when enabled)."""
+        if not self.config.link_cache_enabled:
+            return self._link(firmware)
+        key = _link_cache_key(firmware, self.config.er_base)
+        linked = _LINK_CACHE.get(key)
+        if linked is None:
+            # setdefault so a thread-backend race builds at most one
+            # extra image and every caller still sees a single winner.
+            linked = _LINK_CACHE.setdefault(key, self._link(firmware))
+        return linked
+
+    def _link(self, firmware: FirmwareSpec):
+        return self.linker.link(
+            firmware.source,
+            trusted_isrs=firmware.trusted_isrs,
+            untrusted_isrs=firmware.untrusted_isrs,
+            reset_symbol=firmware.reset_symbol,
+        )
 
     def _enable_configured_interrupt_sources(self):
         if self.config.enable_port1_interrupts:

@@ -187,6 +187,28 @@ class Memory:
         """Return the bytes covered by a :class:`MemoryRegion`."""
         return self.dump(region.start, region.size)
 
+    def peek_view(self, start, length):
+        """Zero-copy read-only view of ``length`` bytes at ``start``.
+
+        The view **aliases** the backing store: a write performed after
+        the view was taken is visible through it (that is what makes it
+        zero-copy).  Take ``bytes(view)`` -- or use :meth:`dump` -- for
+        a stable snapshot.  The view is read-only, so callers cannot
+        mutate memory behind the watcher/write-listener machinery, and
+        it must be released (dropped) before the backing store can be
+        resized.  The attestation fast path streams these views into
+        the HMAC instead of concatenating region copies.
+        """
+        start = self._check(start, max(length, 1))
+        return memoryview(self._data).toreadonly()[start : start + length]
+
+    def view_region(self, region):
+        """Zero-copy read-only view of a :class:`MemoryRegion`.
+
+        Same aliasing semantics as :meth:`peek_view`.
+        """
+        return self.peek_view(region.start, region.size)
+
     def fill(self, start, length, value=0x00):
         """Fill ``length`` bytes from ``start`` with *value* (load-time)."""
         start = self._check(start, max(length, 1))

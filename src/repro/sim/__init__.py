@@ -28,6 +28,7 @@ from repro.sim.runner import (
     ScenarioResult,
     register_job,
     run_scenario,
+    shutdown_warm_pools,
 )
 
 __all__ = [
@@ -46,4 +47,5 @@ __all__ = [
     "register_job",
     "register_observer",
     "run_scenario",
+    "shutdown_warm_pools",
 ]

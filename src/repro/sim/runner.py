@@ -13,18 +13,31 @@ a module-level callable, the same code path runs unchanged inside a
 backend:
 
 * ``"serial"`` -- run in-process, one after another;
+* ``"thread"`` -- fan out over a thread pool.  Correct because the
+  workers are share-nothing (every scenario builds its own device,
+  monitor and protocol; the few module-level caches are idempotent
+  under the GIL), though CPU-bound sweeps only scale on runtimes
+  without a GIL -- the backend exists so they can;
 * ``"process"`` -- fan out over a process pool (``--jobs`` workers),
   with results returned in **spec order** regardless of completion
   order, so serial and parallel campaigns are row-for-row identical.
+  With ``warm=True`` the pool is **persistent**: workers survive the
+  campaign and keep their per-process caches hot (assembled firmware
+  images, LTL monitor models, HMAC key states), so back-to-back sweeps
+  skip the fork-and-rebuild cost.  :func:`shutdown_warm_pools` tears
+  the pools down (also registered via :mod:`atexit`).
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
+import threading
 import time
 import traceback
 from dataclasses import dataclass, field
+from multiprocessing.pool import ThreadPool
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.firmware.testbench import PoxTestbench
@@ -36,7 +49,7 @@ from repro.sim.scenario import (
 )
 
 #: Backends a :class:`CampaignRunner` accepts.
-BACKENDS = ("serial", "process")
+BACKENDS = ("serial", "thread", "process")
 
 #: Default observations for ``kind="pox"`` scenarios that do not name
 #: any: verdict-shaped for modes that end in an attestation, run-shaped
@@ -307,30 +320,73 @@ def _process_context():
         return multiprocessing.get_context("spawn")
 
 
+#: Persistent worker pools for ``warm=True`` campaigns, keyed by size.
+#: A warm pool outlives the campaign that created it; its workers keep
+#: their per-process caches (assembled firmware, LTL models, HMAC key
+#: states), which is the whole point.  Guarded by a lock: a
+#: check-then-act race between two threads would leak the displaced
+#: pool's worker processes past shutdown_warm_pools().
+_WARM_POOLS: Dict[int, object] = {}
+_WARM_POOLS_LOCK = threading.Lock()
+
+
+def _warm_pool(processes):
+    with _WARM_POOLS_LOCK:
+        pool = _WARM_POOLS.get(processes)
+        if pool is None:
+            pool = _process_context().Pool(processes=processes)
+            _WARM_POOLS[processes] = pool
+        return pool
+
+
+def shutdown_warm_pools():
+    """Terminate every persistent warm worker pool (idempotent)."""
+    with _WARM_POOLS_LOCK:
+        pools = list(_WARM_POOLS.values())
+        _WARM_POOLS.clear()
+    for pool in pools:
+        pool.terminate()
+        pool.join()
+
+
+atexit.register(shutdown_warm_pools)
+
+
 class CampaignRunner:
     """Run a list of :class:`ScenarioSpec` through a pluggable backend.
 
     ``jobs`` defaults to the machine's CPU count; the serial backend
-    ignores it.  Results always come back in spec order (the process
-    backend uses an order-preserving ``Pool.map``), so campaigns are
+    ignores it.  Results always come back in spec order (the parallel
+    backends use an order-preserving ``Pool.map``), so campaigns are
     reproducible and differential-testable across backends.
+
+    ``warm=True`` (process backend only) draws workers from a
+    persistent, module-wide pool instead of forking a fresh one per
+    campaign; see :func:`shutdown_warm_pools`.
     """
 
-    def __init__(self, backend: str = "serial", jobs: Optional[int] = None):
+    def __init__(self, backend: str = "serial", jobs: Optional[int] = None,
+                 warm: bool = False):
         if backend not in BACKENDS:
             raise ValueError("backend must be one of %s, got %r"
                              % (", ".join(BACKENDS), backend))
         if jobs is not None and jobs < 1:
             raise ValueError("jobs must be >= 1, got %r" % jobs)
+        if warm and backend != "process":
+            raise ValueError("warm pools apply to the process backend only, "
+                             "not %r" % backend)
         self.backend = backend
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        self.warm = warm
 
     def run(self, specs: Sequence[ScenarioSpec]) -> CampaignResult:
         """Execute every spec; return a :class:`CampaignResult`."""
         specs = list(specs)
         started = time.perf_counter()
-        if self.backend == "process" and self.jobs > 1 and len(specs) > 1:
+        if self.jobs > 1 and len(specs) > 1 and self.backend == "process":
             results = self._run_pool(specs)
+        elif self.jobs > 1 and len(specs) > 1 and self.backend == "thread":
+            results = self._run_threads(specs)
         else:
             results = [run_scenario(spec) for spec in specs]
         return CampaignResult(
@@ -341,9 +397,18 @@ class CampaignRunner:
         )
 
     def _run_pool(self, specs: List[ScenarioSpec]) -> List[ScenarioResult]:
+        # chunksize=1 everywhere below: scenarios are coarse units of
+        # seconds, not microtasks; per-item dispatch gives the best
+        # load balance.
+        if self.warm:
+            # Sized by self.jobs (not len(specs)) so repeat campaigns
+            # of any length land on the same persistent pool.
+            return _warm_pool(self.jobs).map(run_scenario, specs, chunksize=1)
         context = _process_context()
         processes = min(self.jobs, len(specs))
         with context.Pool(processes=processes) as pool:
-            # chunksize=1: scenarios are coarse units of seconds, not
-            # microtasks; per-item dispatch gives the best load balance.
+            return pool.map(run_scenario, specs, chunksize=1)
+
+    def _run_threads(self, specs: List[ScenarioSpec]) -> List[ScenarioResult]:
+        with ThreadPool(processes=min(self.jobs, len(specs))) as pool:
             return pool.map(run_scenario, specs, chunksize=1)

@@ -21,9 +21,11 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence
 
-from repro.crypto.hmac import hmac_sha256
+from repro.crypto.backend import backend_name
+from repro.crypto.hmac import HmacKey
 from repro.crypto.keys import DeviceKey
 from repro.memory.layout import MemoryRegion
 
@@ -56,9 +58,30 @@ def encode_region_descriptor(region: MemoryRegion):
 def encode_scalar(name, value):
     """Return the authenticated encoding of a scalar claim."""
     encoded_name = name.encode("utf-8")
-    return struct.pack(">B", len(encoded_name)) + encoded_name + struct.pack(
-        ">I", value & 0xFFFFFFFF
+    return struct.pack(
+        ">B%dsI" % len(encoded_name),
+        len(encoded_name), encoded_name, value & 0xFFFFFFFF,
     )
+
+
+@lru_cache(maxsize=128)
+def _attestation_mac_key(device_key: DeviceKey, backend: str) -> HmacKey:
+    """Precomputed HMAC state for a device's attestation sub-key.
+
+    Keyed by the active crypto backend as well so a backend switch
+    (differential tests, benchmarks) never hands back state built by
+    the other implementation.
+    """
+    return HmacKey(device_key.attestation_key(), backend=backend)
+
+
+def _region_bytes(memory, region):
+    """Bulk-read *region* from *memory*: a zero-copy view when the
+    memory supports it, a plain copy otherwise."""
+    view_region = getattr(memory, "view_region", None)
+    if view_region is not None:
+        return view_region(region)
+    return memory.dump_region(region)
 
 
 class SwAtt:
@@ -77,19 +100,29 @@ class SwAtt:
         adds the EXEC flag this way); ``snapshot_regions`` name regions
         whose raw bytes should also travel in the clear inside the
         report (APEX's output region, ASAP's IVT).
+
+        The attested bytes are **streamed** into the MAC: each region is
+        fed as a zero-copy view over the simulated memory, so measuring
+        never materialises the concatenated message (the old
+        ``message += ...`` accumulation was quadratic in region count
+        and copied every attested byte at least twice).
         """
-        message = bytes(challenge)
+        mac = _attestation_mac_key(self.device_key, backend_name()).mac(
+            bytes(challenge)
+        )
         for region in regions:
-            message += encode_region_descriptor(region)
-            message += memory.dump_region(region)
+            mac.update(encode_region_descriptor(region))
+            mac.update(_region_bytes(memory, region))
         claims = dict(scalars or {})
         for name in sorted(claims):
-            message += encode_scalar(name, claims[name])
-        measurement = hmac_sha256(self.device_key.attestation_key(), message)
+            mac.update(encode_scalar(name, claims[name]))
+        measurement = mac.digest()
 
         snapshots = {}
         for name, region in (snapshot_regions or {}).items():
-            snapshots[name] = memory.dump_region(region)
+            # Same bulk-read path as the measurement; bytes() pins the
+            # one copy that must travel inside the report.
+            snapshots[name] = bytes(_region_bytes(memory, region))
         return AttestationReport(
             device_id=self.device_id,
             challenge=bytes(challenge),
@@ -107,17 +140,19 @@ class SwAtt:
         giving the contents the verifier expects each measured region to
         hold.
         """
-        message = bytes(challenge)
+        mac = _attestation_mac_key(device_key, backend_name()).mac(
+            bytes(challenge)
+        )
         for region, content in region_contents:
-            message += encode_region_descriptor(region)
+            mac.update(encode_region_descriptor(region))
             expected = bytes(content)
             if len(expected) != region.size:
                 raise ValueError(
                     "expected contents for %s must be %d bytes, got %d"
                     % (region, region.size, len(expected))
                 )
-            message += expected
+            mac.update(expected)
         claims = dict(scalars or {})
         for name in sorted(claims):
-            message += encode_scalar(name, claims[name])
-        return hmac_sha256(device_key.attestation_key(), message)
+            mac.update(encode_scalar(name, claims[name]))
+        return mac.digest()

@@ -56,6 +56,57 @@ class TestCampaignRunner:
         assert [comparable(r) for r in serial] == [comparable(r) for r in process]
         assert process.backend == "process" and process.jobs == 2
 
+    def test_thread_backend_matches_serial_row_for_row(self):
+        specs = small_campaign()
+        serial = CampaignRunner(backend="serial").run(specs)
+        threaded = CampaignRunner(backend="thread", jobs=4).run(specs)
+        assert [comparable(r) for r in serial] == [comparable(r) for r in threaded]
+        assert threaded.backend == "thread" and threaded.jobs == 4
+
+    def test_warm_pool_matches_serial_and_reuses_workers(self):
+        from repro.sim import runner as runner_module
+        from repro.sim import shutdown_warm_pools
+
+        shutdown_warm_pools()
+        specs = small_campaign()
+        serial = CampaignRunner(backend="serial").run(specs)
+        warm_runner = CampaignRunner(backend="process", jobs=2, warm=True)
+        try:
+            first = warm_runner.run(specs)
+            pool = runner_module._WARM_POOLS.get(2)
+            assert pool is not None  # the pool survived the campaign
+            second = warm_runner.run(specs)
+            assert runner_module._WARM_POOLS.get(2) is pool  # and was reused
+            for outcome in (first, second):
+                assert [comparable(r) for r in serial] == \
+                    [comparable(r) for r in outcome]
+        finally:
+            shutdown_warm_pools()
+        assert not runner_module._WARM_POOLS
+
+    def test_warm_requires_process_backend(self):
+        with pytest.raises(ValueError, match="warm"):
+            CampaignRunner(backend="serial", warm=True)
+        with pytest.raises(ValueError, match="warm"):
+            CampaignRunner(backend="thread", warm=True)
+
+    def test_failures_are_isolated_in_thread_and_warm_backends(self):
+        from repro.sim import shutdown_warm_pools
+
+        specs = [
+            runners.fig5_scenarios()[0],
+            ScenarioSpec(name="broken",
+                         firmware=FirmwareRef.of("no-such-firmware")),
+        ]
+        try:
+            for runner in (CampaignRunner(backend="thread", jobs=2),
+                           CampaignRunner(backend="process", jobs=2, warm=True)):
+                outcome = runner.run(specs)
+                assert outcome[0].ok and not outcome[1].ok
+                assert "no-such-firmware" in outcome[1].error
+        finally:
+            shutdown_warm_pools()
+
     def test_failures_are_isolated_per_scenario(self):
         specs = [
             runners.fig5_scenarios()[0],

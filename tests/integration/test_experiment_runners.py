@@ -112,6 +112,23 @@ class TestCommandLine:
         assert main(["E7", "--backend", "process", "--jobs", "2"]) == 0
         assert "All 1 experiments" in capsys.readouterr().out
 
+    def test_thread_backend_flag_accepted(self, capsys):
+        assert main(["E7", "--backend", "thread", "--jobs", "2"]) == 0
+
+    def test_warm_pool_flag_runs_and_shuts_down(self, capsys):
+        from repro.sim import shutdown_warm_pools
+
+        try:
+            assert main(["E7", "--backend", "process", "--jobs", "2",
+                         "--warm-pool"]) == 0
+        finally:
+            shutdown_warm_pools()
+
+    def test_warm_pool_requires_process_backend(self, capsys):
+        assert main(["E7", "--warm-pool"]) == 2
+        assert "--warm-pool requires" in capsys.readouterr().err
+        assert main(["E7", "--backend", "thread", "--warm-pool"]) == 2
+
     def test_cli_reads_the_registry_live(self, capsys, monkeypatch):
         def extra_runner(campaign=None):
             return ExperimentResult("E10", "registered after import")

@@ -1,0 +1,149 @@
+"""Property tests: crypto backends and zero-copy memory reads agree.
+
+Two differential surfaces, both driven by hypothesis:
+
+* **backends** -- random messages, key lengths and chunkings must give
+  byte-identical digests/tags through the ``pure`` reference, the
+  ``fast`` backend and the standard library, whatever the split points
+  (this is what lets the fast backend be a pure performance decision);
+* **memory reads** -- :meth:`Memory.peek_view` must observe exactly the
+  bytes :meth:`Memory.dump` copies, for random offsets/lengths, and its
+  aliasing semantics (the view tracks later writes; the dump does not)
+  are pinned explicitly.
+"""
+
+import hashlib
+import hmac as std_hmac
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.backend import HashlibSha256, use_backend
+from repro.crypto.hmac import Hmac, HmacKey, hmac_sha256
+from repro.crypto.sha256 import Sha256
+from repro.memory.layout import MemoryRegion
+from repro.memory.memory import Memory, MemoryError
+
+
+def _chunks(message, cut_points):
+    """Split *message* at the (sorted, deduplicated) cut points."""
+    offsets = sorted({point % (len(message) + 1) for point in cut_points})
+    pieces = []
+    previous = 0
+    for offset in offsets:
+        pieces.append(message[previous:offset])
+        previous = offset
+    pieces.append(message[previous:])
+    return pieces
+
+
+class TestBackendDifferential:
+    @given(st.binary(max_size=4096),
+           st.lists(st.integers(min_value=0, max_value=4096), max_size=12))
+    @settings(max_examples=120)
+    def test_digests_identical_for_any_chunking(self, message, cut_points):
+        reference = hashlib.sha256(message).digest()
+        for hasher_class in (Sha256, HashlibSha256):
+            hasher = hasher_class()
+            for piece in _chunks(message, cut_points):
+                hasher.update(piece)
+            assert hasher.digest() == reference, hasher_class.__name__
+
+    @given(st.binary(max_size=2048),
+           st.lists(st.integers(min_value=0, max_value=2048), max_size=8))
+    @settings(max_examples=60)
+    def test_memoryview_chunks_match_bytes_chunks(self, message, cut_points):
+        reference = hashlib.sha256(message).digest()
+        view = memoryview(message)
+        for hasher_class in (Sha256, HashlibSha256):
+            hasher = hasher_class()
+            previous = 0
+            for piece in _chunks(message, cut_points):
+                hasher.update(view[previous:previous + len(piece)])
+                previous += len(piece)
+            assert hasher.digest() == reference, hasher_class.__name__
+
+    @given(st.binary(max_size=200), st.binary(max_size=2048))
+    @settings(max_examples=80)
+    def test_hmac_identical_across_backends(self, key, message):
+        reference = std_hmac.new(key, message, hashlib.sha256).digest()
+        for backend in ("pure", "fast"):
+            with use_backend(backend):
+                assert hmac_sha256(key, message) == reference, backend
+                assert HmacKey(key).tag(message) == reference, backend
+
+    @given(st.binary(max_size=100),
+           st.lists(st.binary(max_size=300), max_size=6))
+    @settings(max_examples=60)
+    def test_incremental_hmac_chunking_across_backends(self, key, pieces):
+        reference = std_hmac.new(key, b"".join(pieces),
+                                 hashlib.sha256).digest()
+        for backend in ("pure", "fast"):
+            with use_backend(backend):
+                mac = Hmac(key)
+                for piece in pieces:
+                    mac.update(piece)
+                assert mac.digest() == reference, backend
+
+
+class TestMemoryViewDifferential:
+    @given(st.integers(min_value=0, max_value=0xFFFF),
+           st.integers(min_value=0, max_value=0x800))
+    @settings(max_examples=120)
+    def test_peek_view_matches_dump(self, start, length):
+        memory = Memory()
+        memory.load_bytes(0, bytes((i * 31) & 0xFF for i in range(0x10000)))
+        in_range = start + length <= memory.size
+        if not in_range:
+            with pytest.raises(MemoryError):
+                memory.peek_view(start, length)
+            with pytest.raises(MemoryError):
+                memory.dump(start, length)
+            return
+        view = memory.peek_view(start, length)
+        assert len(view) == length
+        assert bytes(view) == memory.dump(start, length)
+
+    @given(st.integers(min_value=0, max_value=0xFF00),
+           st.integers(min_value=1, max_value=0xFF))
+    @settings(max_examples=60)
+    def test_view_region_matches_dump_region(self, start, size):
+        memory = Memory()
+        memory.load_bytes(0, bytes((i * 7) & 0xFF for i in range(0x10000)))
+        region = MemoryRegion(start, start + size - 1, "r")
+        assert bytes(memory.view_region(region)) == memory.dump_region(region)
+
+    @given(st.integers(min_value=0, max_value=0x7FFF),
+           st.integers(min_value=1, max_value=0x100),
+           st.integers(min_value=0, max_value=0xFF))
+    @settings(max_examples=60)
+    def test_view_aliases_later_writes_and_dump_does_not(self, start, length,
+                                                         new_value):
+        memory = Memory(fill=0xAA)
+        view = memory.peek_view(start, length)
+        snapshot = memory.dump(start, length)
+        target = start + (length // 2)
+        memory.write_byte(target, new_value)
+        # The documented aliasing semantics: the view observes the
+        # mutation, the dump is a stable copy.
+        assert view[length // 2] == new_value
+        assert snapshot[length // 2] == 0xAA
+        assert bytes(view) == memory.dump(start, length)
+
+    @given(st.integers(min_value=0, max_value=0xFF00),
+           st.integers(min_value=1, max_value=0x40))
+    @settings(max_examples=40)
+    def test_views_are_read_only(self, start, length):
+        memory = Memory()
+        view = memory.peek_view(start, length)
+        assert view.readonly
+        with pytest.raises(TypeError):
+            view[0] = 1
+
+    def test_view_feeds_hashers_identically_to_bytes(self):
+        memory = Memory()
+        memory.load_bytes(0, bytes(range(256)) * 256)
+        region = MemoryRegion(0x0123, 0x0456, "r")
+        expected = hashlib.sha256(memory.dump_region(region)).digest()
+        for hasher_class in (Sha256, HashlibSha256):
+            assert hasher_class(memory.view_region(region)).digest() == expected

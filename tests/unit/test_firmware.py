@@ -12,8 +12,58 @@ from repro.firmware.syringe_pump import (
     busy_wait_pump_firmware,
     syringe_pump_firmware,
 )
-from repro.firmware.testbench import PoxTestbench, TestbenchConfig
+from repro.firmware.testbench import (
+    PoxTestbench,
+    TestbenchConfig,
+    clear_link_cache,
+)
 from repro.peripherals.registers import InterruptVectors
+
+
+class TestLinkCache:
+    def test_same_source_reuses_linked_firmware(self):
+        clear_link_cache()
+        first = PoxTestbench(blinker_firmware(authorized=True))
+        second = PoxTestbench(blinker_firmware(authorized=True))
+        assert first.firmware is second.firmware
+
+    def test_cache_key_covers_source_and_er_base(self):
+        clear_link_cache()
+        base = PoxTestbench(blinker_firmware(authorized=True))
+        other_source = PoxTestbench(blinker_firmware(authorized=False))
+        other_base = PoxTestbench(blinker_firmware(authorized=True),
+                                  TestbenchConfig(er_base=0xE100))
+        assert base.firmware is not other_source.firmware
+        assert base.firmware is not other_base.firmware
+        assert other_base.firmware.executable.region.start == 0xE100
+
+    def test_cache_can_be_disabled(self):
+        clear_link_cache()
+        cached = PoxTestbench(blinker_firmware(authorized=True))
+        fresh = PoxTestbench(blinker_firmware(authorized=True),
+                             TestbenchConfig(link_cache_enabled=False))
+        assert cached.firmware is not fresh.firmware
+
+    def test_devices_stay_isolated_despite_shared_image(self):
+        # Corrupting one device's ER must not leak through the shared
+        # LinkedFirmware into a later testbench (the image is read-only;
+        # each device gets its own copy of the bytes at load time).
+        clear_link_cache()
+        first = PoxTestbench(blinker_firmware(authorized=True))
+        er = first.firmware.executable.region
+        pristine = first.device.memory.dump_region(er)
+        first.device.memory.load_bytes(er.start, b"\xFF" * 16)
+        second = PoxTestbench(blinker_firmware(authorized=True))
+        assert second.firmware is first.firmware
+        assert second.device.memory.dump_region(er) == pristine
+
+    def test_cached_testbench_still_passes_pox(self):
+        clear_link_cache()
+        PoxTestbench(blinker_firmware(authorized=True))  # warm the cache
+        bench = PoxTestbench(blinker_firmware(authorized=True),
+                             TestbenchConfig(architecture="asap"))
+        result = bench.run_pox(setup=lambda d: d.schedule_button_press(6))
+        assert result.accepted
 
 
 class TestFirmwareSpecs:

@@ -142,6 +142,45 @@ class TestMemory:
         assert memory.peek_byte(0x0200) == 0x77
 
 
+class TestPeekView:
+    def test_view_matches_dump(self, memory):
+        memory.load_bytes(0x0400, b"\x01\x02\x03\x04")
+        view = memory.peek_view(0x0400, 4)
+        assert isinstance(view, memoryview)
+        assert bytes(view) == memory.dump(0x0400, 4) == b"\x01\x02\x03\x04"
+
+    def test_view_region(self, memory):
+        region = MemoryRegion(0x0400, 0x0403)
+        memory.load_bytes(0x0400, b"\xAA\xBB\xCC\xDD")
+        assert bytes(memory.view_region(region)) == memory.dump_region(region)
+
+    def test_view_is_zero_copy_and_aliases_writes(self, memory):
+        view = memory.peek_view(0x0400, 2)
+        snapshot = memory.dump(0x0400, 2)
+        memory.write_byte(0x0400, 0x99)
+        assert view[0] == 0x99          # the view tracks the store...
+        assert snapshot[0] == 0x00      # ...the dump stays a copy
+
+    def test_view_is_read_only(self, memory):
+        view = memory.peek_view(0x0400, 2)
+        assert view.readonly
+        with pytest.raises(TypeError):
+            view[0] = 1
+
+    def test_view_does_not_notify_watchers(self, memory):
+        seen = []
+        memory.add_watcher(seen.append)
+        bytes(memory.peek_view(0x0200, 8))
+        assert seen == []
+
+    def test_out_of_range_view_rejected(self, memory):
+        with pytest.raises(MemoryError):
+            memory.peek_view(0xFFFF, 2)
+
+    def test_zero_length_view(self, memory):
+        assert bytes(memory.peek_view(0x0400, 0)) == b""
+
+
 class TestInterruptVectorTable:
     def test_geometry(self, memory):
         ivt = InterruptVectorTable(memory)
