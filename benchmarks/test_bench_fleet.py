@@ -1,0 +1,129 @@
+"""Fleet attestation service throughput: exchanges/sec vs fleet size.
+
+Stands up one :class:`~repro.net.service.VerifierService` and drives
+sustained mixed RA/PoX traffic from fleets of simulated provers over
+the in-process loopback transport (plus one TCP row for the
+socket-pair path).  Records aggregate exchanges/sec per fleet size
+into ``BENCH_fleet.json`` alongside the other bench artifacts.
+
+The correctness bar baked into the bench (and the reason the fixed
+verifier is load-bearing): after a 32-device sweep of concurrent
+exchanges through one service, **every** exchange completed and the
+issued-challenge table is empty -- zero growth, even though the sweep
+included thousands of challenge issuances.
+
+Run with ``pytest benchmarks/test_bench_fleet.py --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+from repro.net import Fleet, LinkConditions
+
+#: Fleet sizes swept over the loopback transport.
+FLEET_SIZES = (1, 4, 16, 32)
+
+#: Exchanges per device per sweep (alternating RA and PoX).
+EXCHANGES_PER_DEVICE = 4
+
+
+def _sweep(size, transport="loopback", conditions=None, deadline=None):
+    fleet = Fleet(size, architecture="asap", transport=transport,
+                  conditions=conditions, deadline=deadline)
+    return fleet.run(exchanges_per_device=EXCHANGES_PER_DEVICE)
+
+
+def test_fleet_exchanges_per_second(benchmark, table_printer, bench_json):
+    """Exchanges/sec vs fleet size; 32 devices, one service, zero
+    challenge-table growth."""
+    rows = []
+    payload_rows = []
+    reports = {}
+    for size in FLEET_SIZES:
+        report = _sweep(size)
+        reports[size] = report
+        rows.append({
+            "fleet": size,
+            "transport": "loopback",
+            "exchanges": report.exchanges,
+            "accepted": report.accepted,
+            "exchanges/sec": "%.0f" % report.exchanges_per_second,
+            "pending after": report.pending_challenges_after,
+        })
+        payload_rows.append({
+            "fleet_size": size,
+            "transport": "loopback",
+            "exchanges": report.exchanges,
+            "accepted": report.accepted,
+            "timed_out": report.timed_out,
+            "exchanges_per_sec": report.exchanges_per_second,
+            "pending_challenges_after": report.pending_challenges_after,
+        })
+
+    tcp_report = _sweep(8, transport="tcp")
+    rows.append({
+        "fleet": 8,
+        "transport": "tcp",
+        "exchanges": tcp_report.exchanges,
+        "accepted": tcp_report.accepted,
+        "exchanges/sec": "%.0f" % tcp_report.exchanges_per_second,
+        "pending after": tcp_report.pending_challenges_after,
+    })
+    payload_rows.append({
+        "fleet_size": 8,
+        "transport": "tcp",
+        "exchanges": tcp_report.exchanges,
+        "accepted": tcp_report.accepted,
+        "timed_out": tcp_report.timed_out,
+        "exchanges_per_sec": tcp_report.exchanges_per_second,
+        "pending_challenges_after": tcp_report.pending_challenges_after,
+    })
+    table_printer("Fleet service throughput (mixed RA/PoX)", rows)
+
+    bench_json("BENCH_fleet.json", {
+        "benchmark": "fleet_exchanges_per_second",
+        "unit": "exchanges/sec",
+        "exchanges_per_device": EXCHANGES_PER_DEVICE,
+        "rows": payload_rows,
+    })
+
+    # Timing statistics for a small steady-state fleet.
+    benchmark.pedantic(lambda: _sweep(4), rounds=3)
+
+    # --- the acceptance bar -------------------------------------------
+    big = reports[32]
+    assert big.exchanges == 32 * EXCHANGES_PER_DEVICE
+    assert big.all_accepted(), \
+        [r.reason for r in big.results if not r.accepted]
+    # Zero challenge-table growth after the sweep: every issued
+    # challenge was consumed by a terminal verdict.
+    assert big.pending_challenges_after == 0
+    assert big.service_counters["challenges"] == big.exchanges
+    # All transports drain the table too.
+    assert tcp_report.pending_challenges_after == 0
+
+
+def test_fleet_survives_impaired_links(benchmark, table_printer):
+    """A lossy, laggy, reordering link degrades throughput, never
+    correctness: exchanges time out cleanly and the table still drains
+    (by consumption now, by TTL for the abandoned stragglers)."""
+
+    def impaired_sweep():
+        conditions = LinkConditions(loss=0.2, delay=0.001, jitter=0.002,
+                                    reorder=0.1, seed=42)
+        fleet = Fleet(4, architecture="asap", conditions=conditions,
+                      deadline=0.25)
+        return fleet.run(exchanges_per_device=4)
+
+    report = benchmark.pedantic(impaired_sweep, rounds=1)
+    table_printer("Fleet on an impaired link", [{
+        "exchanges": report.exchanges,
+        "accepted": report.accepted,
+        "timed out": report.timed_out,
+        "pending after": report.pending_challenges_after,
+    }])
+    assert report.exchanges == 16
+    assert report.accepted + report.rejected + report.timed_out == 16
+    assert report.accepted > 0  # some traffic got through
+    # Only challenges stranded by in-flight loss may remain, and each is
+    # bounded by the per-device cap until the TTL clears it.
+    assert report.pending_challenges_after <= report.timed_out

@@ -84,6 +84,26 @@ from repro.sim import (
     run_scenario,
     shutdown_warm_pools,
 )
+# The fleet service layer (repro.net) is re-exported lazily via
+# __getattr__ below: eagerly importing it here would drag asyncio and
+# the whole service stack into every `import repro` -- including the
+# campaign engine's spawn-context pool workers -- and defeat the
+# deliberate lazy import in repro.sim.runner.
+_NET_EXPORTS = frozenset({
+    "Fleet",
+    "FleetReport",
+    "LinkConditions",
+    "ProverEndpoint",
+    "VerifierService",
+})
+
+
+def __getattr__(name):
+    if name in _NET_EXPORTS:
+        from repro import net
+
+        return getattr(net, name)
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))
 
 __version__ = "1.0.0"
 
@@ -151,5 +171,10 @@ __all__ = [
     "StopSpec",
     "run_scenario",
     "shutdown_warm_pools",
+    "Fleet",
+    "FleetReport",
+    "LinkConditions",
+    "ProverEndpoint",
+    "VerifierService",
     "__version__",
 ]

@@ -97,9 +97,18 @@ class PoxVerifier:
         return bytes(challenge) + params
 
     def verify(self, report: AttestationReport) -> PoxResult:
-        """Check a PoX report; returns a :class:`PoxResult`."""
+        """Check a PoX report; returns a :class:`PoxResult`.
+
+        Every rejection here is a terminal verdict for the report's
+        challenge, including the structural ones decided before the
+        measurement check -- the challenge is consumed either way, so a
+        malformed-report probe can never keep a challenge alive for a
+        later replay (and failed exchanges never accumulate
+        issued-table entries).
+        """
         device_id = report.device_id
         if device_id not in self._references:
+            self.verifier.discard_challenge(report.challenge)
             return PoxResult(False, "unknown device %r" % device_id, report=report)
         reference = self._references[device_id]
         config: PoxConfig = reference["config"]
@@ -107,9 +116,11 @@ class PoxVerifier:
         claimed_exec = report.claim(EXEC_CLAIM)
         output = report.snapshots.get(OUTPUT_SNAPSHOT)
         if output is None:
+            self.verifier.discard_challenge(report.challenge)
             return PoxResult(False, "report carries no output snapshot",
                              claimed_exec=claimed_exec, report=report)
         if len(output) != config.output.region.size:
+            self.verifier.discard_challenge(report.challenge)
             return PoxResult(False, "output snapshot has the wrong size",
                              claimed_exec=claimed_exec, report=report)
 
@@ -198,12 +209,24 @@ class PoxProtocol:
     def deliver_challenge(self):
         """Step 1: obtain a challenge and store it in the metadata region."""
         request = self.pox_verifier.create_request(self.device_id)
-        self._active_challenge = request.challenge
+        self.install_challenge(request.challenge)
+        return request
+
+    def install_challenge(self, challenge):
+        """Prover-side half of challenge delivery.
+
+        Stores *challenge* (plus the ER/OR geometry) in the metadata
+        region and arms :meth:`attest`.  Split out of
+        :meth:`deliver_challenge` so a networked prover
+        (:class:`~repro.net.prover.ProverEndpoint`) can install a
+        challenge received over a transport instead of reaching into
+        the verifier directly.
+        """
+        self._active_challenge = bytes(challenge)
         self.config.metadata.write(
-            self.device.memory, request.challenge,
+            self.device.memory, self._active_challenge,
             self.config.executable, self.config.output,
         )
-        return request
 
     def call_executable(self, max_steps=20000, setup=None):
         """Step 2: run the executable region from entry to completion.

@@ -30,11 +30,21 @@ IVT_SNAPSHOT = "IVT"
 
 
 def _ivt_entries_from_bytes(data, base):
-    """Decode an IVT byte snapshot into ``{index: handler address}``."""
+    """Decode an IVT byte snapshot into ``{index: handler address}``.
+
+    ``base`` is the snapshot region's start address; entries are keyed
+    by their interrupt-source index, i.e. by word offset from
+    :data:`~repro.memory.ivt.IVT_BASE`, so a verifier configured with a
+    shifted (partial) ``ivt_region`` attributes each handler to the
+    interrupt source that would actually vector through it -- not to
+    source 0 upward, which would apply the ISR-entry policy (and the
+    per-source expected-handler check) to the wrong sources.
+    """
+    first_index = (base - IVT_BASE) // 2
     entries = {}
-    for index in range(len(data) // 2):
-        value = data[2 * index] | (data[2 * index + 1] << 8)
-        entries[index] = value
+    for offset in range(len(data) // 2):
+        value = data[2 * offset] | (data[2 * offset + 1] << 8)
+        entries[first_index + offset] = value
     return entries
 
 

@@ -150,6 +150,8 @@ class Device:
         self._events: List[ScheduledEvent] = []
         self._last_step_cycles = 0
         self.step_number = 0
+        #: Number of warm (PUC-style) resets triggered by watchdog expiry.
+        self.watchdog_resets = 0
         #: Set when the CPU hit an illegal instruction (e.g. it was tricked
         #: into jumping through an unprogrammed interrupt vector).  A real
         #: MCU would behave unpredictably; the simulation latches the crash
@@ -192,6 +194,7 @@ class Device:
         self._events = []
         self._last_step_cycles = 0
         self.step_number = 0
+        self.watchdog_resets = 0
         self.crashed = False
         self.crash_reason = ""
         self._periph_dirty = True
@@ -239,6 +242,12 @@ class Device:
             elapsed = self._last_step_cycles
             for peripheral in self.peripherals:
                 peripheral.tick(elapsed)
+            if self.watchdog.expired:
+                # An un-serviced watchdog requests a reset; this step's
+                # instruction then executes from the reset vector (and
+                # an unprogrammed vector crashes the device, exactly as
+                # a cold reset into zeroed memory would).
+                self._watchdog_reset()
             pending = self.interrupt_controller.highest_pending()
             if pending is None and all(
                 peripheral.quiescent() for peripheral in self.peripherals
@@ -282,6 +291,23 @@ class Device:
                 monitor.observe(bundle)
             trace.record(bundle)
         return bundle
+
+    def _watchdog_reset(self):
+        """Warm (PUC-style) reset on watchdog expiry.
+
+        CPU, peripherals and the interrupt controller restart; memory,
+        the recorded trace, the step counter and the event schedule all
+        survive -- a PUC does not clear RAM or rewrite flash, and the
+        scenario keeps observing the same run.  Attached monitors are
+        left untouched as well: a reset forced mid-proof must not
+        launder the violation history that caused (or preceded) it.
+        """
+        for peripheral in self.peripherals:
+            peripheral.reset()
+        self.interrupt_controller.reset()
+        self.cpu.reset(stack_top=self.config.resolved_stack_top())
+        self.watchdog_resets += 1
+        self._periph_dirty = True
 
     def _fire_events(self):
         events = self._events

@@ -47,7 +47,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--jobs", type=int, default=None, metavar="N",
-        help="workers for the thread/process backends "
+        help="workers for the thread/process/remote backends "
              "(default: the machine's CPU count)",
     )
     parser.add_argument(

@@ -1,0 +1,52 @@
+"""The fleet attestation service.
+
+``repro.net`` scales the one-exchange-at-a-time protocol objects into a
+service: an asyncio :class:`VerifierService` multiplexes concurrent RA
+and PoX exchanges from any number of provers over a pluggable message
+transport (in-process loopback or TCP, both with injectable
+loss/latency/reorder via :class:`LinkConditions`), a
+:class:`ProverEndpoint` wraps one simulated device, and a
+:class:`Fleet` stands up N devices and drives sustained mixed traffic
+with per-exchange deadlines.  :mod:`repro.net.remote` reuses the same
+framing for the campaign engine's ``backend="remote"`` workers.  See
+``README.md`` ("Fleet service & remote backend") for a worked example.
+"""
+
+from repro.net.transport import (
+    ClosedTransportError,
+    LinkConditions,
+    LoopbackTransport,
+    MessageTransport,
+    StreamTransport,
+    allow_frame_type,
+    loopback_pair,
+    open_tcp_listener,
+    open_tcp_transport,
+    read_frame,
+    write_frame,
+)
+from repro.net.service import VerifierService
+from repro.net.prover import ExchangeResult, ProverEndpoint
+from repro.net.fleet import Fleet, FleetReport
+from repro.net.remote import run_remote_campaign, worker_loop
+
+__all__ = [
+    "ClosedTransportError",
+    "ExchangeResult",
+    "allow_frame_type",
+    "Fleet",
+    "FleetReport",
+    "LinkConditions",
+    "LoopbackTransport",
+    "MessageTransport",
+    "ProverEndpoint",
+    "StreamTransport",
+    "VerifierService",
+    "loopback_pair",
+    "open_tcp_listener",
+    "open_tcp_transport",
+    "read_frame",
+    "run_remote_campaign",
+    "worker_loop",
+    "write_frame",
+]

@@ -1,0 +1,175 @@
+"""The prover-side endpoint of the fleet attestation service.
+
+:class:`ProverEndpoint` wraps one simulated device (plus, for PoX, its
+monitor and protocol object) and drives complete exchanges against a
+:class:`~repro.net.service.VerifierService` over a
+:class:`~repro.net.transport.MessageTransport`:
+
+* plain RA: request a challenge, authenticate the request token with
+  the device key, run SW-Att over the attested regions, send the
+  report, await the verdict;
+* PoX: request a challenge, install it in the metadata region, run the
+  executable region on the simulated device, attest META/ER/OR (and
+  the IVT for ASAP), send the report, await the verdict.
+
+Every exchange can carry a **deadline**: the whole request-to-verdict
+round trip runs under ``asyncio.wait_for``, and a timeout yields an
+:class:`ExchangeResult` with ``timed_out=True`` instead of an
+exception -- on a lossy or slow link that is an expected outcome, and
+the verifier's TTL'd challenge table absorbs the abandoned challenge.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.net.transport import MessageTransport
+from repro.vrased.protocol import AttestationRequest
+from repro.vrased.swatt import SwAtt
+
+
+@dataclass
+class ExchangeResult:
+    """Outcome of one networked exchange, as seen by the prover."""
+
+    kind: str
+    accepted: bool = False
+    reason: str = ""
+    timed_out: bool = False
+    elapsed_seconds: float = 0.0
+
+    def __bool__(self):
+        return self.accepted
+
+
+class ProverEndpoint:
+    """One device's client to the verifier service."""
+
+    def __init__(self, device_id, device, device_key,
+                 transport: MessageTransport,
+                 attested_regions: Optional[Sequence] = None,
+                 protocol=None):
+        """``attested_regions`` are what plain RA measures (default: the
+        device's program memory); ``protocol`` is the device's
+        :class:`~repro.apex.pox.PoxProtocol` (or the ASAP subclass) for
+        PoX exchanges -- only its prover-side half is used, the
+        verifier side lives behind the transport.
+        """
+        self.device_id = device_id
+        self.device = device
+        self.device_key = device_key
+        self.transport = transport
+        self.swatt = SwAtt(device_key, device_id=device_id)
+        self.attested_regions = (
+            list(attested_regions) if attested_regions is not None
+            else [device.layout.program]
+        )
+        self.protocol = protocol
+        self._seq = itertools.count()
+        self._rpc_lock = asyncio.Lock()
+
+    # ------------------------------------------------------------ rpc
+
+    async def _rpc(self, message) -> dict:
+        """Send *message* and await the reply bearing its ``seq``.
+
+        One round trip at a time per endpoint (a device attests
+        serially; fleet concurrency lives across endpoints): without
+        the lock, two concurrent exchanges would each consume -- and
+        drop -- the other's reply and both would hang.  Replies with
+        other sequence numbers (stragglers from a previous, timed-out
+        exchange on this transport) are dropped.
+        """
+        async with self._rpc_lock:
+            seq = next(self._seq)
+            message = dict(message, seq=seq)
+            await self.transport.send(message)
+            while True:
+                reply = await self.transport.recv()
+                if reply.get("seq") == seq:
+                    return reply
+
+    # ------------------------------------------------------------ exchanges
+
+    async def run_attestation(self, deadline: Optional[float] = None) -> ExchangeResult:
+        """One complete RA exchange; never raises on timeout."""
+        return await self._with_deadline("ra", self._attestation_flow(), deadline)
+
+    async def run_pox(self, deadline: Optional[float] = None,
+                      max_steps: int = 20000) -> ExchangeResult:
+        """One complete PoX exchange (APEX or ASAP per the protocol)."""
+        if self.protocol is None:
+            raise RuntimeError("this endpoint has no PoX protocol attached")
+        kind = self.protocol.architecture
+        return await self._with_deadline(kind, self._pox_flow(max_steps), deadline)
+
+    async def stats(self) -> dict:
+        """Fetch the service-side counters."""
+        return await self._rpc({"kind": "stats"})
+
+    async def close(self):
+        await self.transport.close()
+
+    # ------------------------------------------------------------ flows
+
+    async def _with_deadline(self, kind, flow, deadline) -> ExchangeResult:
+        started = time.perf_counter()
+        try:
+            if deadline is not None:
+                result = await asyncio.wait_for(flow, timeout=deadline)
+            else:
+                result = await flow
+        except asyncio.TimeoutError:
+            result = ExchangeResult(kind=kind, timed_out=True,
+                                    reason="deadline of %.3fs exceeded" % deadline)
+        else:
+            result.kind = kind
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    async def _request_challenge(self):
+        """Shared step 1: obtain and authenticate a challenge."""
+        reply = await self._rpc({"kind": "attest", "device_id": self.device_id})
+        if reply["kind"] != "challenge":
+            return None, ExchangeResult(kind="", reason=reply.get("reason", "service error"))
+        request = AttestationRequest(challenge=reply["challenge"],
+                                     auth_token=reply["auth_token"])
+        if not request.verify_token(self.device_key):
+            # A forged/garbled request never reaches SW-Att.
+            return None, ExchangeResult(kind="", reason="request authentication failed")
+        return request.challenge, None
+
+    async def _submit(self, protocol_name, report) -> ExchangeResult:
+        """Shared step 3/4: send the report, await the verdict."""
+        reply = await self._rpc({"kind": "report", "protocol": protocol_name,
+                                 "report": report})
+        if reply["kind"] != "verdict":
+            return ExchangeResult(kind="", reason=reply.get("reason", "service error"))
+        return ExchangeResult(kind="", accepted=reply["accepted"],
+                              reason=reply["reason"])
+
+    async def _attestation_flow(self) -> ExchangeResult:
+        challenge, failure = await self._request_challenge()
+        if failure is not None:
+            return failure
+        report = self.swatt.measure(self.device.memory, challenge,
+                                    self.attested_regions)
+        return await self._submit("ra", report)
+
+    async def _pox_flow(self, max_steps) -> ExchangeResult:
+        challenge, failure = await self._request_challenge()
+        if failure is not None:
+            return failure
+        protocol = self.protocol
+        protocol.install_challenge(challenge)
+        # The simulated execution is synchronous CPU work; it yields no
+        # awaits, so a fleet's executions serialise while its network
+        # round trips interleave -- exactly one device's worth of
+        # silicon per event loop.
+        protocol.call_executable(max_steps=max_steps)
+        report = protocol.attest()
+        return await self._submit(protocol.architecture, report)

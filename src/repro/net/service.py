@@ -1,0 +1,156 @@
+"""The fleet attestation service: one async verifier, many provers.
+
+:class:`VerifierService` owns a single :class:`~repro.vrased.protocol.Verifier`
+(one key store, one bounded issued-challenge table) plus an APEX and an
+ASAP PoX verifier layered over it, and serves attestation traffic over
+any number of :class:`~repro.net.transport.MessageTransport`
+connections concurrently: every incoming message is handled in its own
+task, so thousands of provers can have exchanges in flight against one
+verifier at once.  The wire protocol is three message kinds:
+
+``attest``   ``{"kind": "attest", "seq": n, "device_id": id}``
+             -> ``{"kind": "challenge", "seq": n, "challenge": ...,
+             "auth_token": ...}`` (or an ``error`` reply for an
+             unenrolled device).
+``report``   ``{"kind": "report", "seq": n, "protocol": "ra" | "apex" |
+             "asap", "report": AttestationReport}`` -> ``{"kind":
+             "verdict", "seq": n, "accepted": bool, "reason": str}``.
+``stats``    -> ``{"kind": "stats", ...}`` with the service counters
+             and the current issued-challenge table size.
+
+``seq`` is an opaque correlation id echoed verbatim, so a client may
+pipeline several requests over one connection (the bundled
+:class:`~repro.net.prover.ProverEndpoint` keeps one round trip in
+flight at a time and uses ``seq`` to shed stale replies from timed-out
+exchanges).
+
+The service is only viable on the *fixed* verifier semantics: because a
+challenge is consumed on every terminal verdict and expired entries are
+pruned, sustained mixed traffic -- including rejected and abandoned
+exchanges -- leaves the challenge table empty, not monotonically
+growing (``benchmarks/test_bench_fleet.py`` pins exactly that).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional
+
+from repro.apex.pox import PoxVerifier
+from repro.core.pox import AsapPoxVerifier
+from repro.net.transport import ClosedTransportError, MessageTransport, open_tcp_listener
+from repro.vrased.protocol import Verifier
+
+
+#: Protocol names a ``report`` message may carry.
+REPORT_PROTOCOLS = ("ra", "apex", "asap")
+
+
+class VerifierService:
+    """Serves RA and PoX exchanges for a fleet of provers."""
+
+    def __init__(self, verifier: Optional[Verifier] = None):
+        self.verifier = verifier or Verifier()
+        #: Both PoX verifiers share ``self.verifier`` -- one key store,
+        #: one challenge table -- so RA and PoX traffic interleave
+        #: against the same bounded state.
+        self.apex = PoxVerifier(self.verifier)
+        self.asap = AsapPoxVerifier(self.verifier)
+        #: Service counters: challenges issued, verdicts by outcome.
+        self.counters: Dict[str, int] = {
+            "challenges": 0, "accepted": 0, "rejected": 0, "errors": 0,
+        }
+
+    # ------------------------------------------------------------ queries
+
+    @property
+    def pending_challenges(self) -> int:
+        """Size of the issued-challenge table right now."""
+        return self.verifier.issued_count()
+
+    # ------------------------------------------------------------ handlers
+
+    def handle(self, message) -> dict:
+        """Process one request message; return the reply.
+
+        Pure verifier-side computation (no awaits): the concurrency
+        lives in :meth:`serve`, which runs one ``handle`` per incoming
+        message in its own task.
+        """
+        seq = message.get("seq")
+        kind = message.get("kind")
+        try:
+            if kind == "attest":
+                request = self.verifier.create_request(message["device_id"])
+                self.counters["challenges"] += 1
+                return {
+                    "kind": "challenge", "seq": seq,
+                    "challenge": request.challenge,
+                    "auth_token": request.auth_token,
+                }
+            if kind == "report":
+                protocol = message.get("protocol", "ra")
+                if protocol not in REPORT_PROTOCOLS:
+                    raise ValueError("unknown report protocol %r" % protocol)
+                report = message["report"]
+                if protocol == "ra":
+                    result = self.verifier.verify(report)
+                elif protocol == "apex":
+                    result = self.apex.verify(report)
+                else:
+                    result = self.asap.verify(report)
+                outcome = "accepted" if result.accepted else "rejected"
+                self.counters[outcome] += 1
+                return {
+                    "kind": "verdict", "seq": seq,
+                    "accepted": result.accepted, "reason": result.reason,
+                }
+            if kind == "stats":
+                return {
+                    "kind": "stats", "seq": seq,
+                    "pending_challenges": self.pending_challenges,
+                    **self.counters,
+                }
+            raise ValueError("unknown message kind %r" % kind)
+        except Exception as error:  # noqa: BLE001 - folded into the reply
+            # One malformed request must not take down the service (or
+            # leak a traceback to the prover beyond its message).
+            self.counters["errors"] += 1
+            return {"kind": "error", "seq": seq, "reason": str(error)}
+
+    # ------------------------------------------------------------ serving
+
+    async def serve(self, transport: MessageTransport):
+        """Serve one prover connection until it closes.
+
+        Each message is dispatched to its own task, so a connection
+        that pipelines requests gets concurrent verification, and slow
+        exchanges on one connection never stall another.
+        """
+        pending = set()
+        try:
+            while True:
+                try:
+                    message = await transport.recv()
+                except ClosedTransportError:
+                    break
+                task = asyncio.ensure_future(self._respond(transport, message))
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+        finally:
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+
+    async def _respond(self, transport, message):
+        reply = self.handle(message)
+        try:
+            await transport.send(reply)
+        except ClosedTransportError:
+            # The prover went away mid-exchange; its challenge (if any)
+            # ages out of the bounded table via the TTL.
+            pass
+
+    async def listen_tcp(self, host="127.0.0.1", port=0, conditions=None):
+        """Serve over TCP; returns the ``asyncio.Server``."""
+        return await open_tcp_listener(self.serve, host=host, port=port,
+                                       conditions=conditions)

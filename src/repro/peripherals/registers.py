@@ -83,6 +83,8 @@ class WatchdogBits:
     PASSWORD = 0x5A00
     #: Hold (stop) the watchdog.
     HOLD = 0x0080
+    #: Counter clear (``WDTCNTCL``): reloads the countdown; reads as 0.
+    CLEAR = 0x0008
 
 
 class InterruptVectors:

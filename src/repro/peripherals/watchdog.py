@@ -4,7 +4,11 @@ The watchdog is included for completeness of the MCU substrate: firmware
 for MSP430-class parts conventionally stops it first thing
 (``MOV #0x5A80, &WDTCTL``), and several of the example programs do the
 same.  When running (not held) it counts CPU cycles and requests a
-device reset on expiry.
+device reset on expiry: :class:`~repro.device.mcu.Device` checks
+:attr:`Watchdog.expired` each tick and performs a warm (PUC-style)
+reset when it fires.  Firmware that keeps the watchdog running services
+it by writing the conventional counter-clear bit
+(``MOV #0x5A08, &WDTCTL``), which reloads the countdown.
 """
 
 from __future__ import annotations
@@ -57,7 +61,20 @@ class Watchdog(Peripheral):
     def tick(self, elapsed_cycles):
         if self._regs_dirty:
             self._regs_dirty = False
-            self._held_cache = self.held
+            control = self._read_word(PeripheralRegisters.WDTCTL)
+            self._held_cache = bool(control & WatchdogBits.HOLD)
+            if control & WatchdogBits.CLEAR:
+                # WDTCNTCL reloads the countdown and reads back as 0
+                # (it is a command bit, not state, on the real part).
+                self.kick()
+                self._store_word(
+                    PeripheralRegisters.WDTCTL,
+                    control & ~WatchdogBits.CLEAR,
+                )
+                # Our own self-clearing store re-fired the register
+                # watch; nothing external changed, so drop the flag
+                # rather than pay a redundant re-evaluation next tick.
+                self._regs_dirty = False
         if self._held_cache or self._expired:
             return
         self._remaining -= elapsed_cycles

@@ -25,7 +25,13 @@ backend:
   campaign and keep their per-process caches hot (assembled firmware
   images, LTL monitor models, HMAC key states), so back-to-back sweeps
   skip the fork-and-rebuild cost.  :func:`shutdown_warm_pools` tears
-  the pools down (also registered via :mod:`atexit`).
+  the pools down (also registered via :mod:`atexit`);
+* ``"remote"`` -- ship each spec to a worker endpoint over the fleet
+  service's message transport (:mod:`repro.net.remote`): specs and
+  results cross real TCP sockets, the workers run the plain
+  blocking-socket :func:`~repro.net.remote.worker_loop` that would run
+  unchanged on another host, and results come back spec-ordered, so
+  remote campaigns are row-for-row identical to serial ones.
 """
 
 from __future__ import annotations
@@ -49,7 +55,7 @@ from repro.sim.scenario import (
 )
 
 #: Backends a :class:`CampaignRunner` accepts.
-BACKENDS = ("serial", "thread", "process")
+BACKENDS = ("serial", "thread", "process", "remote")
 
 #: Default observations for ``kind="pox"`` scenarios that do not name
 #: any: verdict-shaped for modes that end in an attestation, run-shaped
@@ -383,7 +389,9 @@ class CampaignRunner:
         """Execute every spec; return a :class:`CampaignResult`."""
         specs = list(specs)
         started = time.perf_counter()
-        if self.jobs > 1 and len(specs) > 1 and self.backend == "process":
+        if self.backend == "remote" and specs:
+            results = self._run_remote(specs)
+        elif self.jobs > 1 and len(specs) > 1 and self.backend == "process":
             results = self._run_pool(specs)
         elif self.jobs > 1 and len(specs) > 1 and self.backend == "thread":
             results = self._run_threads(specs)
@@ -412,3 +420,10 @@ class CampaignRunner:
     def _run_threads(self, specs: List[ScenarioSpec]) -> List[ScenarioResult]:
         with ThreadPool(processes=min(self.jobs, len(specs))) as pool:
             return pool.map(run_scenario, specs, chunksize=1)
+
+    def _run_remote(self, specs: List[ScenarioSpec]) -> List[ScenarioResult]:
+        # Imported lazily: the campaign engine must not drag the
+        # service layer in for the serial/thread/process backends.
+        from repro.net.remote import run_remote_campaign
+
+        return run_remote_campaign(specs, jobs=self.jobs)

@@ -19,6 +19,8 @@ APEX/ASAP PoX protocols, which extend the measured material.
 from __future__ import annotations
 
 import os
+import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -32,6 +34,18 @@ from repro.vrased.swatt import AttestationReport, SwAtt
 
 #: Default challenge length in bytes.
 CHALLENGE_LENGTH = 32
+
+#: Default cap on simultaneously outstanding challenges *per device*.
+#: The bound is per device (not global) so one chatty or misbehaving
+#: prover exhausts only its own quota and can never evict another
+#: device's in-flight challenge.
+MAX_ISSUED_PER_DEVICE = 64
+
+#: Default time-to-live of an issued challenge, in seconds.  A report
+#: for an expired challenge is rejected as stale, and expired entries
+#: are pruned from the table, so abandoned exchanges (prover crashed,
+#: packet lost) cannot grow verifier memory without bound.
+CHALLENGE_TTL_SECONDS = 60.0
 
 
 @dataclass(frozen=True)
@@ -59,16 +73,95 @@ class AttestationResult:
         return self.accepted
 
 
-class Verifier:
-    """The verifier (Vrf): issues challenges and validates reports."""
+@dataclass(frozen=True)
+class IssuedChallenge:
+    """Bookkeeping for one outstanding challenge."""
 
-    def __init__(self, key_store: Optional[KeyStore] = None, rng=os.urandom):
+    device_id: str
+    issued_at: float
+
+
+class Verifier:
+    """The verifier (Vrf): issues challenges and validates reports.
+
+    The issued-challenge table is **bounded and single-use**: a
+    challenge is consumed on *every* terminal verdict (success,
+    measurement mismatch, wrong device) -- a once-rejected report can
+    never be retried against the same challenge -- at most
+    ``max_issued_per_device`` challenges are outstanding per device
+    (issuing more evicts that device's oldest, never another
+    device's), and entries older than ``challenge_ttl`` are pruned, so
+    abandoned exchanges cannot grow the table without bound.
+    ``clock`` is injectable for deterministic TTL tests.
+    """
+
+    def __init__(self, key_store: Optional[KeyStore] = None, rng=os.urandom,
+                 max_issued_per_device: int = MAX_ISSUED_PER_DEVICE,
+                 challenge_ttl: Optional[float] = CHALLENGE_TTL_SECONDS,
+                 clock=time.monotonic):
+        if max_issued_per_device < 1:
+            raise ValueError("max_issued_per_device must be >= 1, got %r"
+                             % max_issued_per_device)
+        if challenge_ttl is not None and challenge_ttl <= 0:
+            raise ValueError("challenge_ttl must be positive or None, got %r"
+                             % challenge_ttl)
         self.key_store = key_store or KeyStore()
         self._rng = rng
-        self._issued: Dict[bytes, str] = {}
+        self.max_issued_per_device = max_issued_per_device
+        self.challenge_ttl = challenge_ttl
+        self._clock = clock
+        #: Outstanding challenges in issue order (== expiry order, since
+        #: the TTL is uniform): ``{challenge: IssuedChallenge}``.
+        self._issued: "OrderedDict[bytes, IssuedChallenge]" = OrderedDict()
+        #: Per-device view of the same table, again in issue order, so
+        #: the per-device cap evicts the right entry in O(1).
+        self._issued_by_device: Dict[str, "OrderedDict[bytes, None]"] = {}
         #: Reference contents the verifier expects, per device and region
         #: name: ``{device_id: [(region, bytes), ...]}``.
         self.reference_memory: Dict[str, List] = {}
+
+    # ------------------------------------------------------------ challenge table
+
+    def issued_count(self, device_id: Optional[str] = None) -> int:
+        """Outstanding challenges, in total or for one device."""
+        self._prune_expired()
+        if device_id is None:
+            return len(self._issued)
+        return len(self._issued_by_device.get(device_id, ()))
+
+    def _consume(self, challenge: bytes):
+        entry = self._issued.pop(challenge)
+        per_device = self._issued_by_device[entry.device_id]
+        del per_device[challenge]
+        if not per_device:
+            del self._issued_by_device[entry.device_id]
+        return entry
+
+    def _prune_expired(self):
+        if self.challenge_ttl is None or not self._issued:
+            return
+        horizon = self._clock() - self.challenge_ttl
+        # _issued is in issue order, so expired entries sit at the front.
+        while self._issued:
+            challenge, entry = next(iter(self._issued.items()))
+            if entry.issued_at > horizon:
+                break
+            self._consume(challenge)
+
+    def discard_challenge(self, challenge) -> bool:
+        """Consume *challenge* without a verdict; ``True`` if it existed.
+
+        For layers above the base verifier (the PoX verifiers) that
+        reject a report on their own grounds before the measurement
+        check runs: their rejection is just as terminal, so the
+        challenge must burn there too -- otherwise malformed-report
+        probing would reopen the replay window and grow the table.
+        """
+        self._prune_expired()
+        if challenge not in self._issued:
+            return False
+        self._consume(challenge)
+        return True
 
     # ------------------------------------------------------------ enrolment
 
@@ -87,9 +180,20 @@ class Verifier:
     def create_request(self, device_id):
         """Step 1: produce a fresh challenge (and its authentication token)."""
         device_key = self.key_store.get(device_id)
+        self._prune_expired()
+        per_device = self._issued_by_device.get(device_id)
+        while per_device and len(per_device) >= self.max_issued_per_device:
+            self._consume(next(iter(per_device)))
         challenge = self._rng(CHALLENGE_LENGTH)
         token = hmac_sha256(device_key.authentication_key(), challenge)
-        self._issued[challenge] = device_id
+        self._issued[challenge] = IssuedChallenge(
+            device_id=device_id, issued_at=self._clock()
+        )
+        # Re-fetched rather than reused: _consume (eviction above, or
+        # TTL pruning) deletes a device's OrderedDict once it empties,
+        # so a stale local reference would record the new challenge
+        # into an orphaned dict and desynchronise the table.
+        self._issued_by_device.setdefault(device_id, OrderedDict())[challenge] = None
         return AttestationRequest(challenge=challenge, auth_token=token)
 
     def verify(self, report: AttestationReport, scalars=None,
@@ -99,22 +203,28 @@ class Verifier:
         ``region_contents`` overrides the enrolled reference (used by the
         PoX protocols, which add the output region whose contents the
         verifier learns from the report itself).
+
+        The challenge is consumed on **every** terminal verdict, not
+        just on success: a report rejected for a measurement mismatch
+        or a device mismatch burns the challenge, so the same (or a
+        corrected) report can never be replayed against it later, and
+        failed exchanges never accumulate table entries.
         """
+        self._prune_expired()
         if report.challenge not in self._issued:
             return AttestationResult(False, "unknown or stale challenge", report)
-        device_id = self._issued[report.challenge]
-        if device_id != report.device_id:
+        entry = self._consume(report.challenge)
+        if entry.device_id != report.device_id:
             return AttestationResult(False, "challenge issued to a different device", report)
-        device_key = self.key_store.get(device_id)
+        device_key = self.key_store.get(entry.device_id)
         contents = region_contents
         if contents is None:
-            contents = self.reference_memory.get(device_id, [])
+            contents = self.reference_memory.get(entry.device_id, [])
         expected = SwAtt.expected_measurement(
             device_key, report.challenge, contents, scalars=scalars
         )
         if not constant_time_compare(expected, report.measurement):
             return AttestationResult(False, "measurement mismatch", report)
-        del self._issued[report.challenge]
         return AttestationResult(True, "measurement matches reference", report)
 
 
@@ -172,10 +282,14 @@ class AttestationProtocol:
         """Run one full challenge-response attestation exchange."""
         request = self.verifier.create_request(self.device_id)
         if not request.verify_token(self.device_key):
+            # Terminal for this challenge: no report will ever answer
+            # it, so it must not linger in the issued table.
+            self.verifier.discard_challenge(request.challenge)
             return AttestationResult(False, "request authentication failed")
         if self.monitor is not None and self.monitor.violated:
             # A tripped monitor means the device reset before SW-Att ran;
             # the exchange simply never produces a report.
+            self.verifier.discard_challenge(request.challenge)
             return AttestationResult(False, "device reset by VRASED monitor")
         report = self.prover.swatt.measure(
             self.device.memory, request.challenge, self.attested_regions()

@@ -250,3 +250,39 @@ class TestPoxVerifierPlumbing:
         metadata = verifier.expected_metadata("dev", challenge)
         assert metadata[:32] == challenge
         assert len(metadata) == 40
+
+    def test_structural_rejection_burns_the_challenge(self):
+        # A report rejected *before* the measurement check (here: output
+        # snapshot stripped) is just as terminal: the challenge must be
+        # consumed, or an attacker could probe with malformed reports
+        # and replay the intact one later.
+        from dataclasses import replace
+
+        from repro.firmware.blinker import blinker_firmware
+        from repro.firmware.testbench import PoxTestbench, TestbenchConfig
+
+        bench = PoxTestbench(blinker_firmware(authorized=True),
+                             TestbenchConfig(architecture="apex"))
+        bench.protocol.deliver_challenge()
+        bench.protocol.call_executable()
+        report = bench.protocol.attest()
+        stripped = replace(report, snapshots={})
+        rejected = bench.protocol.verify(stripped)
+        assert not rejected.accepted and "output" in rejected.reason
+        assert bench.pox_verifier.verifier.issued_count() == 0  # burned
+        replayed = bench.protocol.verify(report)
+        assert not replayed.accepted
+        assert "challenge" in replayed.reason
+
+    def test_unknown_device_rejection_burns_the_challenge(self, pox_config):
+        from repro.vrased.swatt import AttestationReport
+
+        verifier = PoxVerifier()
+        verifier.enroll("dev")
+        verifier.register_deployment(
+            "dev", pox_config, b"\x00" * pox_config.executable.region.size)
+        request = verifier.create_request("dev")
+        ghost = AttestationReport(device_id="ghost", challenge=request.challenge,
+                                  measurement=b"\x00" * 32)
+        assert not verifier.verify(ghost).accepted
+        assert verifier.verifier.issued_count() == 0

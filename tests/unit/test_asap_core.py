@@ -306,3 +306,67 @@ class TestAsapPoxVerifierPolicy:
         )
         error = verifier._post_measurement_checks("dev", report, reference)
         assert error is not None and "IVT" in error
+
+
+class TestShiftedIvtRegion:
+    """A non-default (partial) ``ivt_region`` must attribute handlers to
+    the interrupt sources that actually vector through it."""
+
+    #: Covers sources 4..15 only (the table's last 24 bytes).
+    SHIFTED = MemoryRegion(IVT_BASE + 8, IVT_END, "ivt-tail")
+
+    def make_verifier(self, pox_config, expected_isrs):
+        verifier = AsapPoxVerifier()
+        verifier.enroll("dev")
+        verifier.register_asap_deployment(
+            "dev", pox_config, b"\x00" * pox_config.executable.region.size,
+            expected_isrs, ivt_region=self.SHIFTED,
+        )
+        return verifier
+
+    def shifted_snapshot(self, entries):
+        """Snapshot of the shifted region; *entries* keyed by source index."""
+        data = bytearray(self.SHIFTED.size)
+        for index, address in entries.items():
+            offset = 2 * index - (self.SHIFTED.start - IVT_BASE)
+            assert 0 <= offset < len(data), "source %d outside the region" % index
+            data[offset] = address & 0xFF
+            data[offset + 1] = (address >> 8) & 0xFF
+        return bytes(data)
+
+    def test_entries_decode_from_region_offset(self):
+        from repro.core.pox import _ivt_entries_from_bytes
+
+        snapshot = self.shifted_snapshot({4: 0xE020, 6: 0xE030})
+        entries = _ivt_entries_from_bytes(snapshot, self.SHIFTED.start)
+        assert entries[4] == 0xE020 and entries[6] == 0xE030
+        assert min(entries) == 4  # indexed from the region's offset, not 0
+
+    def test_correct_entries_accepted_through_shifted_region(self, pox_config):
+        verifier = self.make_verifier(pox_config, {4: 0xE020, 6: 0xE030})
+        reference = verifier.reference("dev")
+        report = AttestationReport(
+            device_id="dev", challenge=b"\x00" * 32, measurement=b"\x00" * 32,
+            claims={"EXEC": 1},
+            snapshots={IVT_SNAPSHOT: self.shifted_snapshot(
+                {4: 0xE020, 6: 0xE030})},
+        )
+        assert verifier._post_measurement_checks("dev", report, reference) is None
+
+    def test_swapped_handlers_flagged_through_shifted_region(self, pox_config):
+        # Sources 4 and 6 have their intended handlers swapped.  Before
+        # the fix the decoder labelled them sources 0 and 2 (which have
+        # no expectations), so the per-source handler check silently
+        # passed and the ISR-entry policy was applied to the wrong
+        # interrupt sources.
+        verifier = self.make_verifier(pox_config, {4: 0xE020, 6: 0xE030})
+        reference = verifier.reference("dev")
+        report = AttestationReport(
+            device_id="dev", challenge=b"\x00" * 32, measurement=b"\x00" * 32,
+            claims={"EXEC": 1},
+            snapshots={IVT_SNAPSHOT: self.shifted_snapshot(
+                {4: 0xE030, 6: 0xE020})},
+        )
+        error = verifier._post_measurement_checks("dev", report, reference)
+        assert error is not None and "intended handler" in error
+        assert "IVT entry 4" in error

@@ -172,6 +172,66 @@ class TestDeviceInterruptsEndToEnd:
         assert controller.total_serviced() == 0
 
 
+class TestWatchdogExpiryResetsDevice:
+    def arm(self, device, interval):
+        """Shrink the watchdog interval so tests expire it quickly."""
+        device.watchdog.interval = interval
+        device.watchdog.kick()
+
+    def test_expiry_performs_warm_reset(self, device):
+        # Firmware that never stops (or services) the watchdog: after
+        # the interval elapses the device must restart from the reset
+        # vector, not silently keep running -- before the fix,
+        # ``Watchdog.expired`` had no reader and expiry was a no-op.
+        load_program(device, "loop:\nINC R6\nJMP loop\n")
+        self.arm(device, 40)
+        device.run_steps(60)
+        assert device.watchdog_resets >= 1
+        assert not device.crashed
+        # The warm reset rewound execution: R6 was cleared and counted
+        # up again from the reset vector, so it is far below the total
+        # number of INC steps executed.
+        assert 0 < device.cpu.registers[6] < 30
+
+    def test_expiry_with_unprogrammed_reset_vector_crashes(self, device):
+        load_program(device, "loop:\nNOP\nJMP loop\n")
+        device.ivt.set_reset_vector(0x0000)  # e.g. flash corruption
+        self.arm(device, 40)
+        device.run_steps(80)
+        assert device.watchdog_resets == 1
+        assert device.crashed  # the reset path latched the crash
+
+    def test_held_watchdog_never_resets_device(self, device):
+        load_program(device,
+                     "MOV #0x5A80, &0x0120\n"  # stop the watchdog
+                     "loop:\nNOP\nJMP loop\n")
+        self.arm(device, 40)
+        device.run_steps(200)
+        assert device.watchdog_resets == 0
+        assert not device.crashed
+
+    def test_serviced_watchdog_never_resets_device(self, device):
+        # Firmware that periodically writes the counter-clear bit keeps
+        # the (running) watchdog from ever firing.
+        load_program(device,
+                     "loop:\n"
+                     "MOV #0x5A08, &0x0120\n"  # WDTPW | WDTCNTCL
+                     "NOP\nNOP\nNOP\n"
+                     "JMP loop\n")
+        self.arm(device, 60)
+        device.run_steps(300)
+        assert device.watchdog_resets == 0
+        assert not device.crashed
+
+    def test_device_reset_clears_watchdog_reset_count(self, device):
+        load_program(device, "loop:\nNOP\nJMP loop\n")
+        self.arm(device, 30)
+        device.run_steps(60)
+        assert device.watchdog_resets >= 1
+        device.reset()
+        assert device.watchdog_resets == 0
+
+
 class TestTraceRecorder:
     def make_bundle(self, cycle, pc, irq=False):
         return SignalBundle(cycle=cycle, pc=pc, next_pc=pc + 2, irq=irq)

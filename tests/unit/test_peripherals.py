@@ -222,6 +222,49 @@ class TestWatchdog:
         watchdog.tick(90)
         assert not watchdog.expired
 
+    def test_clear_bit_write_reloads_counter(self, memory):
+        # The conventional firmware service write (`MOV #0x5A08, &WDTCTL`)
+        # must reload the countdown; before the fix only a direct
+        # ``kick()`` call (which no firmware path issued) did.
+        watchdog = Watchdog(memory, interval=100)
+        watchdog.reset()
+        watchdog.tick(90)
+        memory.load_word(
+            PeripheralRegisters.WDTCTL,
+            WatchdogBits.PASSWORD | WatchdogBits.CLEAR,
+        )
+        watchdog.tick(90)
+        assert not watchdog.expired
+        watchdog.tick(20)
+        assert watchdog.expired
+
+    def test_clear_bit_reads_back_as_zero(self, memory):
+        watchdog = Watchdog(memory, interval=100)
+        watchdog.reset()
+        memory.load_word(
+            PeripheralRegisters.WDTCTL,
+            WatchdogBits.PASSWORD | WatchdogBits.CLEAR,
+        )
+        watchdog.tick(1)
+        control = memory.peek_word(PeripheralRegisters.WDTCTL)
+        assert not control & WatchdogBits.CLEAR  # WDTCNTCL is a command bit
+
+    def test_hold_and_clear_together(self, memory):
+        watchdog = Watchdog(memory, interval=100)
+        watchdog.reset()
+        watchdog.tick(90)
+        memory.load_word(
+            PeripheralRegisters.WDTCTL,
+            WatchdogBits.PASSWORD | WatchdogBits.HOLD | WatchdogBits.CLEAR,
+        )
+        watchdog.tick(1000)
+        assert not watchdog.expired  # held
+        memory.load_word(PeripheralRegisters.WDTCTL, WatchdogBits.PASSWORD)
+        watchdog.tick(99)
+        assert not watchdog.expired  # the clear reloaded before the hold
+        watchdog.tick(2)
+        assert watchdog.expired
+
 
 class TestInterruptController:
     def test_peripheral_request_visible(self, memory, port1):

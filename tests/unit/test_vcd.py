@@ -51,6 +51,61 @@ class TestVcdWriter:
         assert content.startswith("$date")
         assert content.endswith("\n")
 
+    def test_wrapped_trace_timestamps_offset_by_dropped(self):
+        # A ring-buffered trace that wrapped has discarded its oldest
+        # entries; the VCD window must start at the first *surviving*
+        # step, not rebase to #0 with a final timestamp capped at the
+        # buffer length.
+        trace = TraceRecorder(max_entries=4)
+        for index in range(10):
+            pc = 0xE000 if index < 8 else 0xF000
+            trace.record(SignalBundle(cycle=index + 1, pc=pc, next_pc=pc + 2))
+        assert trace.dropped == 6  # entries 0..5 are gone
+        text = VcdWriter(["PC"]).render(trace)
+        lines = text.splitlines()
+        stamps = [int(line[1:]) for line in lines if line.startswith("#")]
+        # Window start (before $dumpvars), the PC change at surviving
+        # index 2 (global step 8), and the end-of-dump timestamp.
+        assert stamps == [6, 8, 10]
+        assert lines.index("#6") < lines.index("$dumpvars")
+
+    def test_empty_trace_emits_wellformed_vcd(self):
+        text = VcdWriter(["EXEC", "PC"]).render(TraceRecorder())
+        # The $dumpvars block must still be terminated.
+        lines = text.splitlines()
+        assert "$dumpvars" in lines
+        assert lines.index("$end", lines.index("$dumpvars")) > 0
+        assert lines[-1] == "#1"
+
+    def test_unwrapped_trace_still_starts_at_zero(self):
+        text = VcdWriter(["PC"]).render(build_trace())
+        assert "#0\n$dumpvars" not in text  # no spurious leading stamp
+        lines = text.splitlines()
+        stamps = [int(line[1:]) for line in lines if line.startswith("#")]
+        assert stamps[-1] == 5  # one timestamp per change, capped at len
+
+    def test_wrapped_real_device_trace_exports(self, tmp_path):
+        from repro.device.mcu import Device, DeviceConfig
+        from repro.isa.assembler import Assembler
+
+        device = Device(DeviceConfig(trace_limit=16))
+        image = Assembler().assemble(
+            ".section .text\nMOV #0x5A80, &0x0120\nloop:\nNOP\nJMP loop\n",
+            section_addresses={".text": 0xE000},
+        )
+        image.write_to(device.memory)
+        device.ivt.set_reset_vector(0xE000)
+        device.reset()
+        device.run_steps(100)
+        assert device.trace.dropped == 84
+        path = tmp_path / "wrapped.vcd"
+        export_vcd(device.trace, str(path), signals=["PC"])
+        text = path.read_text()
+        stamps = [int(line[1:]) for line in text.splitlines()
+                  if line.startswith("#")]
+        assert stamps[0] == 84  # window starts where the ring begins
+        assert stamps[-1] == 100  # and ends at the true step count
+
     def test_export_real_scenario(self, tmp_path):
         bench = PoxTestbench(blinker_firmware(authorized=True), TestbenchConfig())
         bench.run_pox(setup=lambda d: d.schedule_button_press(6))

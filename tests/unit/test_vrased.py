@@ -251,6 +251,121 @@ class TestAttestationProtocol:
         assert not result.accepted
         assert "challenge" in result.reason
 
+    def test_rejected_report_burns_its_challenge(self, device):
+        # The pre-fix replay window: a rejected report left its
+        # challenge in the table, so a later (corrected or identical)
+        # report against the same challenge was still accepted.
+        verifier, protocol = self.build(device)
+        request = verifier.create_request("prover-1")
+        good = protocol.prover.swatt.measure(
+            device.memory, request.challenge, protocol.attested_regions()
+        )
+        from repro.vrased.swatt import AttestationReport
+
+        bad = AttestationReport(device_id="prover-1",
+                                challenge=request.challenge,
+                                measurement=b"\x00" * 32)
+        assert verifier.verify(bad).reason == "measurement mismatch"
+        retried = verifier.verify(good)
+        assert not retried.accepted
+        assert "challenge" in retried.reason
+
+    def test_wrong_device_report_burns_its_challenge(self, device):
+        verifier, protocol = self.build(device)
+        verifier.enroll("prover-2")
+        request = verifier.create_request("prover-1")
+        report = protocol.prover.swatt.measure(
+            device.memory, request.challenge, protocol.attested_regions()
+        )
+        from repro.vrased.swatt import AttestationReport
+
+        hijacked = AttestationReport(device_id="prover-2",
+                                     challenge=request.challenge,
+                                     measurement=report.measurement)
+        rejected = verifier.verify(hijacked)
+        assert "different device" in rejected.reason
+        # The challenge is consumed on this terminal verdict too.
+        assert not verifier.verify(report).accepted
+        assert verifier.issued_count() == 0
+
+    def test_issued_table_stays_bounded_over_failed_exchanges(self, device):
+        verifier, protocol = self.build(device)
+        from repro.vrased.swatt import AttestationReport
+
+        for _ in range(10000):
+            request = verifier.create_request("prover-1")
+            bogus = AttestationReport(device_id="prover-1",
+                                      challenge=request.challenge,
+                                      measurement=b"\xFF" * 32)
+            assert not verifier.verify(bogus).accepted
+        assert verifier.issued_count() == 0
+
+    def test_abandoned_challenges_bounded_per_device(self, device):
+        verifier, protocol = self.build(device)
+        for _ in range(10000):
+            verifier.create_request("prover-1")  # issued, never answered
+        assert verifier.issued_count("prover-1") == verifier.max_issued_per_device
+        assert verifier.issued_count() == verifier.max_issued_per_device
+
+    def test_chatty_device_cannot_evict_other_devices_challenges(self, device):
+        verifier, _protocol = self.build(device)
+        quiet_protocol = AttestationProtocol(device, verifier, "prover-2")
+        quiet_protocol.snapshot_reference()
+        quiet = verifier.create_request("prover-2")
+        for _ in range(10 * verifier.max_issued_per_device):
+            verifier.create_request("prover-1")  # the chatty one
+        # The flood saturated only prover-1's quota; prover-2's single
+        # outstanding challenge survived and still verifies.
+        assert verifier.issued_count("prover-1") == verifier.max_issued_per_device
+        assert verifier.issued_count("prover-2") == 1
+        report = quiet_protocol.prover.swatt.measure(
+            device.memory, quiet.challenge, quiet_protocol.attested_regions()
+        )
+        assert verifier.verify(report).accepted
+
+    def test_challenge_ttl_expires_stale_challenges(self, device):
+        import itertools
+
+        ticks = itertools.count()
+        verifier = Verifier(challenge_ttl=10.0, clock=lambda: next(ticks))
+        protocol = AttestationProtocol(device, verifier, "prover-1")
+        device.memory.load_bytes(0xC000, b"\x42" * 64)
+        protocol.snapshot_reference()
+        request = verifier.create_request("prover-1")
+        report = protocol.prover.swatt.measure(
+            device.memory, request.challenge, protocol.attested_regions()
+        )
+        for _ in range(20):  # let more than the TTL elapse
+            next(ticks)
+        result = verifier.verify(report)
+        assert not result.accepted
+        assert "stale" in result.reason
+        assert verifier.issued_count() == 0
+
+    def test_invalid_table_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Verifier(max_issued_per_device=0)
+        with pytest.raises(ValueError):
+            Verifier(challenge_ttl=0)
+
+    def test_eviction_at_cap_one_keeps_table_consistent(self, device):
+        # Evicting a device's last outstanding challenge deletes its
+        # per-device dict; the fresh challenge must land in a live dict,
+        # not the orphaned one, and remain fully usable.
+        verifier = Verifier(max_issued_per_device=1)
+        protocol = AttestationProtocol(device, verifier, "prover-1")
+        device.memory.load_bytes(0xC000, b"\x42" * 64)
+        protocol.snapshot_reference()
+        verifier.create_request("prover-1")
+        request = verifier.create_request("prover-1")  # evicts the first
+        assert verifier.issued_count("prover-1") == 1
+        assert verifier.issued_count() == 1
+        report = protocol.prover.swatt.measure(
+            device.memory, request.challenge, protocol.attested_regions()
+        )
+        assert verifier.verify(report).accepted
+        assert verifier.issued_count() == 0
+
     def test_monitor_violation_blocks_exchange(self, device):
         verifier = Verifier()
         config = None
@@ -264,3 +379,6 @@ class TestAttestationProtocol:
         result = protocol.run()
         assert not result.accepted
         assert "reset" in result.reason
+        # The aborted exchange's challenge must not linger: no report
+        # will ever answer it.
+        assert verifier.issued_count() == 0
