@@ -1,0 +1,140 @@
+"""Compare a ``BENCH_sim.json`` run against the committed baseline.
+
+CI regenerates ``BENCH_sim.json`` on every PR and fails the build when
+any engine's throughput regressed by more than ``--threshold`` (default
+30%) against ``benchmarks/BENCH_sim.baseline.json``::
+
+    python benchmarks/compare_bench.py                  # defaults
+    python benchmarks/compare_bench.py --current BENCH_sim.json
+    python benchmarks/compare_bench.py --absolute --threshold 0.10
+
+Two comparison modes:
+
+* **normalized** (default): each file's rows are divided by that file's
+  ``interp`` row before comparing, so the check tracks the *relative*
+  engine speedups (blocks-vs-interp and so on) and is immune to CI
+  runners of different absolute speed.
+* ``--absolute``: raw steps/sec are compared directly.  Only meaningful
+  when baseline and current ran on comparable hardware.
+
+Exit status: 0 when every row holds the line, 1 listing the regressed
+rows, 2 for malformed/missing inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: The committed reference trajectory, regenerated deliberately (run the
+#: bench, copy the fresh ``BENCH_sim.json`` over it) when a PR moves the
+#: needle on purpose.
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "BENCH_sim.baseline.json"
+DEFAULT_CURRENT = Path("BENCH_sim.json")
+DEFAULT_THRESHOLD = 0.30
+
+#: The row used as the normalization denominator.
+REFERENCE_ENGINE = "interp"
+
+
+def load_rates(path):
+    """``{engine: steps_per_sec}`` from a ``BENCH_sim.json`` file."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as error:
+        raise SystemExit("cannot read %s: %s" % (path, error))
+    rates = {}
+    for row in payload.get("rows", []):
+        if isinstance(row, dict) and "steps_per_sec" in row:
+            rates[row.get("engine", "?")] = float(row["steps_per_sec"])
+    if not rates:
+        raise SystemExit("%s carries no steps_per_sec rows" % path)
+    return rates
+
+
+def normalize(rates):
+    """Rates relative to the file's own reference-engine row."""
+    reference = rates.get(REFERENCE_ENGINE)
+    if not reference:
+        raise SystemExit(
+            "no %r row to normalize against (engines: %s)"
+            % (REFERENCE_ENGINE, ", ".join(sorted(rates))))
+    return {engine: rate / reference for engine, rate in rates.items()}
+
+
+def compare(baseline, current, threshold, absolute=False):
+    """Regressed rows as ``(engine, baseline_value, current_value)``."""
+    if not absolute:
+        baseline = normalize(baseline)
+        current = normalize(current)
+    regressions = []
+    for engine, reference_value in sorted(baseline.items()):
+        value = current.get(engine)
+        if value is None:
+            # A dropped engine row is itself a regression: the bench
+            # stopped measuring something the baseline tracks.
+            regressions.append((engine, reference_value, None))
+        elif value < (1.0 - threshold) * reference_value:
+            regressions.append((engine, reference_value, value))
+    return regressions
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/compare_bench.py",
+        description="Fail when BENCH_sim.json regressed against the "
+                    "committed baseline.",
+    )
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help="baseline BENCH_sim.json (default: %(default)s)")
+    parser.add_argument("--current", type=Path, default=DEFAULT_CURRENT,
+                        help="freshly measured BENCH_sim.json "
+                             "(default: %(default)s)")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        metavar="FRACTION",
+                        help="allowed fractional drop before failing "
+                             "(default: %(default)s)")
+    parser.add_argument("--absolute", action="store_true",
+                        help="compare raw steps/sec instead of rates "
+                             "normalized to each file's %r row"
+                             % REFERENCE_ENGINE)
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.threshold < 1.0:
+        parser.error("--threshold must be in [0, 1)")
+
+    baseline = load_rates(args.baseline)
+    current = load_rates(args.current)
+    unit = "steps/sec" if args.absolute else "x vs %s" % REFERENCE_ENGINE
+    regressions = compare(baseline, current, args.threshold,
+                          absolute=args.absolute)
+
+    shown = baseline if args.absolute else normalize(baseline)
+    shown_current = current if args.absolute else normalize(current)
+    for engine in sorted(set(shown) | set(shown_current)):
+        print("%-8s baseline %12s   current %12s  (%s)" % (
+            engine,
+            "%.2f" % shown[engine] if engine in shown else "-",
+            "%.2f" % shown_current[engine] if engine in shown_current else "-",
+            unit,
+        ))
+
+    if regressions:
+        print("\nREGRESSION: >%0.f%% drop against %s"
+              % (args.threshold * 100, args.baseline))
+        for engine, reference_value, value in regressions:
+            if value is None:
+                print("  %s: row disappeared (baseline %.2f %s)"
+                      % (engine, reference_value, unit))
+            else:
+                print("  %s: %.2f -> %.2f %s (-%.0f%%)"
+                      % (engine, reference_value, value, unit,
+                         100 * (1 - value / reference_value)))
+        return 1
+    print("\nOK: no row regressed more than %.0f%%" % (args.threshold * 100))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

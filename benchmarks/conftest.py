@@ -60,7 +60,26 @@ def write_bench_json(name, payload):
     The file lands in ``$REPRO_BENCH_DIR`` (default: the current
     working directory); CI uploads ``BENCH_*.json`` as artifacts so the
     perf trajectory is tracked per PR.  Returns the written path.
+
+    Every payload (and every entry of its ``rows``, if present) is
+    stamped with the active execution engine, and the payload with the
+    process-wide decode-cache statistics -- a bench number without the
+    engine that produced it is unreproducible.  Rows that already carry
+    an ``engine`` column (for example an engine-comparison sweep) keep
+    their own value.
     """
+    from repro.cpu.decode_cache import DecodeCache
+    from repro.cpu.engine import engine_name
+
+    payload = dict(payload)
+    payload.setdefault("engine", engine_name())
+    payload.setdefault("decode_cache", DecodeCache.aggregate_stats())
+    if isinstance(payload.get("rows"), list):
+        payload["rows"] = [
+            dict(row, engine=row.get("engine", engine_name()))
+            if isinstance(row, dict) else row
+            for row in payload["rows"]
+        ]
     directory = Path(os.environ.get("REPRO_BENCH_DIR", "."))
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / name

@@ -34,6 +34,9 @@ MEASURE_STEPS = 30000
 REPEATS = 4
 #: Required speedup of the decode cache (trace off, like for like).
 REQUIRED_SPEEDUP = 3.0
+#: Required speedup of the trace-compiled block engine over the
+#: interpreter (batched loop, trace off, like for like).
+REQUIRED_ENGINE_SPEEDUP = 2.0
 
 
 def _fresh_device(firmware, decode_cache, trace):
@@ -168,6 +171,76 @@ def test_run_batch_beats_per_step_loop(benchmark, table_printer):
         rounds=1,
     )
     assert batched >= 1.2 * per_step
+
+
+def _engine_device(firmware, engine):
+    """A monitor-less, trace-less device running under *engine*."""
+    bench = PoxTestbench(firmware, TestbenchConfig(
+        trace_enabled=False, exec_engine=engine,
+    ))
+    device = bench.device
+    device.detach_monitor(bench.monitor)
+    return device
+
+
+def _engine_rate(firmware, engine):
+    """Best steps/sec of *engine* over ``REPEATS`` batched runs, plus
+    the last device's engine/decode-cache statistics."""
+    best = 0.0
+    device = None
+    for _ in range(REPEATS):
+        device = _engine_device(firmware, engine)
+        device.run_batch(1000)  # settle: boot code, block compilation
+        started = time.perf_counter()
+        device.run_batch(MEASURE_STEPS)
+        elapsed = time.perf_counter() - started
+        best = max(best, MEASURE_STEPS / elapsed)
+    return best, device.engine.stats(), device.decode_cache.stats()
+
+
+def test_block_engine_speedup(benchmark, table_printer, bench_json):
+    """The ``blocks`` engine gives >= 2x steps/sec over ``interp``.
+
+    Same firmware, same batched loop, trace off, monitor detached --
+    the only variable is the execution engine.  The differential suites
+    (``tests/integration/test_engine_differential.py``,
+    ``tests/property/test_property_engines.py``) prove the two are
+    byte-identical; this test only measures speed and records the
+    ``BENCH_sim.json`` trajectory that ``benchmarks/compare_bench.py``
+    guards in CI.
+    """
+    firmware = blinker_firmware(authorized=True)
+    rates = {}
+    json_rows = []
+    for engine in ("interp", "blocks"):
+        rate, engine_stats, cache_stats = _engine_rate(firmware, engine)
+        rates[engine] = rate
+        json_rows.append({
+            "engine": engine,
+            "steps_per_sec": rate,
+            "engine_stats": engine_stats,
+            "decode_cache": cache_stats,
+        })
+    speedup = rates["blocks"] / rates["interp"]
+    table_printer("Execution engines (blinker, batched, trace off)", [
+        {"engine": engine, "steps/sec": "%.0f" % rates[engine]}
+        for engine in ("interp", "blocks")
+    ] + [{"engine": "speedup", "steps/sec": "%.2fx" % speedup}])
+
+    bench_json("BENCH_sim.json", {
+        "benchmark": "execution_engine_throughput",
+        "unit": "steps/sec",
+        "firmware": "blinker",
+        "measure_steps": MEASURE_STEPS,
+        "rows": json_rows,
+        "speedup": speedup,
+    })
+
+    benchmark.pedantic(
+        lambda: _engine_device(firmware, "blocks").run_batch(2000),
+        rounds=1,
+    )
+    assert speedup >= REQUIRED_ENGINE_SPEEDUP
 
 
 def test_throughput_trajectory(benchmark):

@@ -55,6 +55,39 @@ def campaign_demo():
         print("%-24s %s" % (result.name, result.row))
 
 
+def engine_demo():
+    """Execution engines: the reference interpreter vs compiled blocks.
+
+    The step loop sits behind a registry (``repro.cpu.engine``):
+    ``interp`` is the in-tree reference, ``blocks`` trace-compiles hot
+    straight-line code into Python closures (differentially pinned
+    byte-identical).  Select with ``REPRO_EXEC_BACKEND=blocks``,
+    ``DeviceConfig(exec_engine=...)``, ``TestbenchConfig(exec_engine=...)``,
+    ``CampaignRunner(engine=...)`` or ``python -m repro.experiments
+    --engine blocks``; process-wide/scoped via ``repro.set_exec_engine``
+    / ``repro.use_exec_engine``.
+    """
+    import time
+
+    from repro.cpu import engine_name
+
+    print("\n--- execution engines (repro.cpu.engine) ---")
+    print("default engine:", engine_name())
+    firmware = blinker_firmware(authorized=True)
+    measure_steps = 50000
+    for engine in ("interp", "blocks"):
+        bench = PoxTestbench(firmware, TestbenchConfig(
+            trace_enabled=False, exec_engine=engine))
+        device = bench.device
+        device.detach_monitor(bench.monitor)  # measure the raw step loop
+        device.run_batch(2000)                # settle: boot, compilation
+        started = time.perf_counter()
+        device.run_batch(measure_steps)
+        elapsed = time.perf_counter() - started
+        print("%-7s %12.0f steps/sec   stats: %s"
+              % (engine, measure_steps / elapsed, device.engine.stats()))
+
+
 def main():
     # The attestation HMAC runs on a pluggable SHA-256 backend: "fast"
     # (hashlib, the default) or "pure" (the in-tree reference, ~1900x
@@ -111,6 +144,7 @@ def main():
         raise SystemExit("unexpected: the proof should have been accepted")
 
     campaign_demo()
+    engine_demo()
 
 
 if __name__ == "__main__":

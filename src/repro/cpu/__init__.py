@@ -11,6 +11,18 @@ step, and every monitor consumes the same bundles.
 from repro.cpu.signals import SignalBundle, MemoryWrite, MemoryRead
 from repro.cpu.core import CPU, CPUError, StepResult
 from repro.cpu.decode_cache import DecodeCache
+from repro.cpu.engine import (
+    ENGINES,
+    BlockEngine,
+    ExecutionEngine,
+    InterpreterEngine,
+    create_engine,
+    engine_class,
+    engine_name,
+    register_engine,
+    set_engine,
+    use_engine,
+)
 
 __all__ = [
     "SignalBundle",
@@ -20,4 +32,14 @@ __all__ = [
     "CPUError",
     "StepResult",
     "DecodeCache",
+    "ENGINES",
+    "BlockEngine",
+    "ExecutionEngine",
+    "InterpreterEngine",
+    "create_engine",
+    "engine_class",
+    "engine_name",
+    "register_engine",
+    "set_engine",
+    "use_engine",
 ]

@@ -37,7 +37,17 @@ from repro.cpu.signals import MemoryRead, MemoryWrite, SignalBundle
 
 
 class CPUError(Exception):
-    """Raised on unrecoverable execution errors (bad opcodes, bad state)."""
+    """Raised on unrecoverable execution errors (bad opcodes, bad state).
+
+    ``engine`` names the execution engine that was driving the CPU when
+    the error was latched by :meth:`repro.device.mcu.Device.step` /
+    ``run_batch`` (``None`` when the CPU was stepped directly).  It is
+    diagnostic context only -- the rendered message stays
+    engine-independent so crash bundles are byte-identical across
+    engines.
+    """
+
+    engine = None
 
 
 @dataclass(**DATACLASS_SLOTS)
@@ -160,7 +170,10 @@ class CPU:
 
     def reset(self, stack_top=None):
         """Reset the core: clear registers and load PC from the reset vector."""
-        self.registers = [0] * REGISTER_COUNT
+        # In place, not a rebind: compiled execution engines pre-bind
+        # this exact list object into their closures, and a warm
+        # (watchdog) reset must not strand them on a stale register file.
+        self.registers[:] = [0] * REGISTER_COUNT
         self.pc = self.ivt.get_reset_vector()
         if stack_top is not None:
             self.sp = stack_top

@@ -31,6 +31,7 @@ comparisons.
 
 from __future__ import annotations
 
+import weakref
 from typing import Dict, Optional, Tuple
 
 #: Maximum encoded instruction size in bytes (three 16-bit words).
@@ -45,6 +46,9 @@ FULL_FLUSH_THRESHOLD = 64
 class DecodeCache:
     """Memoises ``(instruction, size, text, cycles)`` per fetch address."""
 
+    #: Live instances, for process-wide stats snapshots (benchmarks).
+    _live = weakref.WeakSet()
+
     def __init__(self):
         #: pc -> (Instruction, size_bytes, rendered_text, cycle_count)
         self._entries: Dict[int, Tuple[object, int, str, int]] = {}
@@ -54,6 +58,12 @@ class DecodeCache:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        #: Called (no arguments) whenever the cache is fully cleared, so
+        #: derived state -- compiled basic blocks in the ``blocks``
+        #: execution engine -- is dropped along with the decodes it was
+        #: built from.
+        self._clear_listeners = []
+        DecodeCache._live.add(self)
 
     def __len__(self):
         return len(self._entries)
@@ -113,10 +123,25 @@ class DecodeCache:
             self._max_pc = -1
 
     def clear(self):
-        """Drop every cached entry (counters are preserved)."""
+        """Drop every cached entry (counters are preserved).
+
+        Clear listeners fire too, so compiled-block state derived from
+        the cached decodes starts clean as well -- this is what lets an
+        execution-engine swap mid-session begin from a blank slate.
+        """
         self._entries.clear()
         self._min_pc = 0x10000
         self._max_pc = -1
+        for listener in self._clear_listeners:
+            listener()
+
+    def add_clear_listener(self, callback):
+        """Register *callback()* to run after every full :meth:`clear`."""
+        self._clear_listeners.append(callback)
+
+    def remove_clear_listener(self, callback):
+        """Remove a previously registered clear listener."""
+        self._clear_listeners.remove(callback)
 
     # ------------------------------------------------------------ statistics
 
@@ -130,3 +155,23 @@ class DecodeCache:
             "invalidations": self.invalidations,
             "hit_rate": (self.hits / total) if total else 0.0,
         }
+
+    @classmethod
+    def aggregate_stats(cls):
+        """Sum :meth:`stats` over every live cache in the process.
+
+        A snapshot for benchmark rows: devices that have been garbage
+        collected no longer contribute, so the numbers describe the
+        caches alive at call time, not the full process history.
+        """
+        totals = {"caches": 0, "entries": 0, "hits": 0, "misses": 0,
+                  "invalidations": 0}
+        for cache in list(cls._live):
+            totals["caches"] += 1
+            totals["entries"] += len(cache._entries)
+            totals["hits"] += cache.hits
+            totals["misses"] += cache.misses
+            totals["invalidations"] += cache.invalidations
+        lookups = totals["hits"] + totals["misses"]
+        totals["hit_rate"] = (totals["hits"] / lookups) if lookups else 0.0
+        return totals

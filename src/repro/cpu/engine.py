@@ -1,0 +1,910 @@
+"""Pluggable execution engines for the simulation hot path.
+
+The fetch--decode--execute loop used to be smeared across
+:meth:`repro.cpu.core.CPU.step` and the private chunk helpers of
+:class:`repro.device.mcu.Device`.  This module pulls that machinery
+behind one interface -- :class:`ExecutionEngine` -- and keeps two
+interchangeable implementations behind a registry, exactly like the
+crypto backends in :mod:`repro.crypto.backend`:
+
+* ``"interp"`` -- the decode-cached interpreter loop (the in-tree
+  reference; every other engine is differentially pinned against it);
+* ``"blocks"`` -- a trace-compiled engine that walks the decode cache
+  to discover hot straight-line basic blocks (ending at jumps, calls,
+  ``RETI`` and any instruction that can rewrite PC or SR), compiles
+  each into a list of specialized Python closures with operand values,
+  flag masks and the register file pre-bound, and re-runs whole blocks
+  per dictionary lookup instead of paying one dispatch per instruction.
+
+Selection, most specific first:
+
+1. ``DeviceConfig.exec_engine`` (forwarded from ``TestbenchConfig`` /
+   ``ScenarioSpec`` overrides / the ``--engine`` CLI flag),
+2. :func:`set_engine` / the :func:`use_engine` context manager,
+3. the ``REPRO_EXEC_BACKEND`` environment variable,
+4. the default (``"interp"``).
+
+Correctness contract
+--------------------
+
+An engine must be *observably invisible*: byte-identical traces,
+monitor observations, registers, memory, cycle/step accounting and
+crash behaviour versus the reference.  The ``blocks`` engine keeps that
+contract by construction where it matters and by fallback everywhere
+else:
+
+* Observed steps (monitors attached or tracing on) always run the
+  reference loop -- compiled blocks only ever execute on the
+  observer-free silent path, where no signal bundle is materialised.
+* Ops the compiler does not specialize run a *generic* closure that
+  replays the reference handler with the same PC-advance and
+  read/write-list bookkeeping as ``CPU.step_silent``.
+* Blocks containing memory stores are re-checked after every op:
+  a store that rewrites the running block (self-modifying attack code)
+  or touches the peripheral page aborts the block at exactly the
+  instruction boundary where the interpreter would have reacted.
+* Every memory mutation invalidates overlapping blocks through the
+  same write-listener path the decode cache uses, and
+  :meth:`repro.cpu.decode_cache.DecodeCache.clear` flushes compiled
+  state through its clear-listener hook.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from repro.cpu.core import (
+    CPU,
+    CPUError,
+    _C,
+    _CPUOFF,
+    _KEEP_NON_ARITH,
+    _N,
+    _V,
+    _Z,
+)
+from repro.cpu.decode_cache import FULL_FLUSH_THRESHOLD
+from repro.isa.instructions import AddressingMode, InstructionFormat, Opcode
+from repro.isa.registers import CG, PC, SP, SR
+
+#: Environment variable selecting the process-wide default engine.
+ENV_VAR = "REPRO_EXEC_BACKEND"
+
+#: Engine used when nothing else selects one.
+DEFAULT_ENGINE = "interp"
+
+
+class ExecutionEngine:
+    """Base class: the reference step/chunk implementations.
+
+    The base class *is* the interpreter: ``step``/``step_quiet``/
+    ``step_silent`` delegate to the :class:`~repro.cpu.core.CPU`
+    methods, and the chunk loops are the bodies that used to live on
+    :class:`~repro.device.mcu.Device`.  Subclasses override the pieces
+    they accelerate and inherit reference behaviour for the rest.
+    """
+
+    name = "abstract"
+
+    def __init__(self, device):
+        self.device = device
+        self.cpu: CPU = device.cpu
+
+    # ------------------------------------------------------------ lifecycle
+
+    def attach(self):
+        """Register listeners (called once the device wiring exists)."""
+
+    def detach(self):
+        """Unregister listeners (engine is being swapped out)."""
+
+    def reset(self):
+        """Drop engine-private state on a device reset."""
+
+    def stats(self):
+        """Engine counters for benches and diagnostics."""
+        return {"engine": self.name}
+
+    # ------------------------------------------------------------ stepping
+
+    def step(self, pending_interrupt=None):
+        """One observed step; returns a :class:`~repro.cpu.core.StepResult`."""
+        return self.cpu.step(pending_interrupt)
+
+    def quiescent_chunk(self, chunk):
+        """Up to *chunk* observed steps inside a quiescent stretch.
+
+        Preconditions (established by ``Device.run_batch``): the device
+        has not crashed, no scheduled event is due within *chunk* steps,
+        and the peripherals are quiescent with no interrupt pending.
+        Returns the number of steps executed.
+        """
+        device = self.device
+        monitors = device.monitors
+        if not monitors and not device.trace.enabled:
+            return self.silent_chunk(chunk)
+        cpu_step_quiet = self.cpu.step_quiet
+        exporters = device._signal_exporters
+        record = device.trace.record
+        dma = device.dma
+        executed = 0
+        while executed < chunk:
+            if device._periph_dirty:
+                break
+            device.step_number += 1
+            try:
+                bundle = cpu_step_quiet()
+            except CPUError as error:
+                device._latch_crash(error)
+                device._crash_bundle()
+                executed += 1
+                break
+            device._last_step_cycles = bundle.cycles_consumed
+            if dma._step_reads or dma._step_writes:
+                bundle.dma_en = True
+                bundle.dma_reads = dma._step_reads
+                bundle.dma_writes = dma._step_writes
+            if exporters:
+                monitor_signals = {}
+                for monitor in monitors:
+                    monitor.observe(bundle)
+                for monitor in exporters:
+                    monitor_signals.update(monitor.signal_values())
+                record(bundle, monitor_signals)
+            else:
+                for monitor in monitors:
+                    monitor.observe(bundle)
+                record(bundle)
+            executed += 1
+        return executed
+
+    def silent_chunk(self, chunk):
+        """Up to *chunk* observer-free steps (no monitors, no tracing)."""
+        device = self.device
+        cpu_step_silent = self.cpu.step_silent
+        executed = 0
+        cycles_total = 0
+        last_cycles = device._last_step_cycles
+        try:
+            while executed < chunk and not device._periph_dirty:
+                device.step_number += 1
+                last_cycles = cpu_step_silent()
+                cycles_total += last_cycles
+                executed += 1
+        except CPUError as error:
+            device._latch_crash(error)
+            device._last_step_cycles = last_cycles
+            device.trace.count_cycles(cycles_total)
+            device._crash_bundle()
+            return executed + 1
+        device._last_step_cycles = last_cycles
+        device.trace.count_cycles(cycles_total)
+        return executed
+
+
+class InterpreterEngine(ExecutionEngine):
+    """The decode-cached interpreter loop (the reference engine)."""
+
+    name = "interp"
+
+
+# ---------------------------------------------------------------------------
+# The trace-compiled block engine
+# ---------------------------------------------------------------------------
+
+#: Longest block the compiler will form.  Blocks end at control flow
+#: anyway; the cap only bounds pathological straight-line stretches.
+MAX_BLOCK_OPS = 64
+
+#: Format I opcodes that write their destination (CMP/BIT only set flags).
+_WRITEBACK_DOUBLE = frozenset((
+    Opcode.MOV, Opcode.ADD, Opcode.ADDC, Opcode.SUB, Opcode.SUBC,
+    Opcode.DADD, Opcode.BIC, Opcode.BIS, Opcode.XOR, Opcode.AND,
+))
+#: Format II opcodes that write their operand back.
+_WRITEBACK_SINGLE = frozenset((Opcode.RRC, Opcode.SWPB, Opcode.RRA, Opcode.SXT))
+
+_REGISTER = AddressingMode.REGISTER
+_CONSTANT = AddressingMode.CONSTANT
+_IMMEDIATE = AddressingMode.IMMEDIATE
+
+
+def _block_terminator(instruction):
+    """Classify *instruction* as a block terminator.
+
+    Returns ``(ends_block, writes_pc)``.  A block ends at control flow
+    (jumps, ``CALL``, ``RETI``), at any instruction that can write PC
+    (so the driver re-dispatches from the new target) and at any
+    instruction that can write SR as a register (a ``CPUOFF`` write must
+    be seen by the per-step sleep check before the next instruction).
+    """
+    opcode = instruction.opcode
+    fmt = opcode.format
+    if fmt is InstructionFormat.JUMP:
+        return True, True
+    if opcode is Opcode.CALL or opcode is Opcode.RETI:
+        return True, True
+    if fmt is InstructionFormat.DOUBLE_OPERAND:
+        dst = instruction.dst
+        if opcode in _WRITEBACK_DOUBLE and dst.mode is _REGISTER:
+            if dst.register == PC:
+                return True, True
+            if dst.register == SR:
+                return True, False
+    elif opcode in _WRITEBACK_SINGLE:
+        src = instruction.src
+        if src.mode is _REGISTER and src.register in (PC, SR):
+            return True, src.register == PC
+    return False, False
+
+
+def _writes_memory(instruction):
+    """``True`` when executing *instruction* can mutate memory."""
+    opcode = instruction.opcode
+    if opcode is Opcode.PUSH or opcode is Opcode.CALL:
+        return True
+    if opcode.format is InstructionFormat.DOUBLE_OPERAND:
+        return opcode in _WRITEBACK_DOUBLE and instruction.dst.mode is not _REGISTER
+    if opcode in _WRITEBACK_SINGLE:
+        return instruction.src.mode is not _REGISTER
+    return False
+
+
+class CompiledBlock:
+    """A straight-line run of instructions compiled to closures."""
+
+    __slots__ = ("start", "end", "exit_pc", "ops", "op_cycles", "count",
+                 "cycles_total", "last_cycles", "mutates", "sets_pc", "valid")
+
+    def __init__(self, start, end, ops, op_cycles, mutates, sets_pc):
+        self.start = start
+        #: First byte address past the block (exclusive, may be 0x10000).
+        self.end = end
+        #: PC after a full run of a straight-line block (wraps mod 64K).
+        self.exit_pc = end & 0xFFFF
+        self.ops = ops
+        self.op_cycles = op_cycles
+        self.count = len(ops)
+        self.cycles_total = sum(op_cycles)
+        self.last_cycles = op_cycles[-1]
+        #: Any op can store to memory: run with per-op abort checks.
+        self.mutates = mutates
+        #: The final op assigns PC itself (jump/call/PC-writing op).
+        self.sets_pc = sets_pc
+        #: Cleared by the write listener when code bytes are rewritten.
+        self.valid = True
+
+
+class BlockEngine(ExecutionEngine):
+    """Trace-compiled basic blocks over the reference interpreter.
+
+    Only the observer-free silent path is accelerated; observed steps
+    (monitors attached or tracing enabled) run the inherited reference
+    loop, which keeps traces and monitor observations byte-identical by
+    construction.  The differential suites pin the silent path
+    (registers, memory, cycle/step accounting, crash behaviour) against
+    the interpreter.
+    """
+
+    name = "blocks"
+
+    def __init__(self, device):
+        super().__init__(device)
+        self._blocks = {}
+        # Byte-address span covered by compiled blocks, for cheap
+        # invalidation rejects (peripheral writes every tick must not
+        # pay a dict scan).
+        self._span_min = 0x10000
+        self._span_max = -1
+        self.compiled = 0
+        self.block_runs = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------ lifecycle
+
+    def attach(self):
+        self.device.memory.add_write_listener(self._on_memory_write)
+        cache = self.device.decode_cache
+        if cache is not None:
+            cache.add_clear_listener(self.flush)
+
+    def detach(self):
+        self.device.memory.remove_write_listener(self._on_memory_write)
+        cache = self.device.decode_cache
+        if cache is not None:
+            cache.remove_clear_listener(self.flush)
+
+    def reset(self):
+        self.flush()
+
+    def flush(self):
+        """Drop every compiled block (counters are preserved)."""
+        self._blocks.clear()
+        self._span_min = 0x10000
+        self._span_max = -1
+
+    def stats(self):
+        return {
+            "engine": self.name,
+            "blocks": len(self._blocks),
+            "compiled": self.compiled,
+            "block_runs": self.block_runs,
+            "block_invalidations": self.invalidations,
+        }
+
+    # ------------------------------------------------------------ invalidation
+
+    def _on_memory_write(self, address, length=1):
+        """Write listener: drop blocks whose code bytes were rewritten."""
+        blocks = self._blocks
+        if not blocks:
+            return
+        end = address + length
+        if end <= self._span_min or address >= self._span_max:
+            return
+        if length > FULL_FLUSH_THRESHOLD:
+            self.invalidations += len(blocks)
+            self.flush()
+            return
+        dead = [pc for pc, block in blocks.items()
+                if block.start < end and address < block.end]
+        for pc in dead:
+            block = blocks.pop(pc)
+            # Latch invalidity so an in-flight run of this block aborts
+            # at the current instruction boundary (self-modifying code).
+            block.valid = False
+            self.invalidations += 1
+        if not blocks:
+            self._span_min = 0x10000
+            self._span_max = -1
+
+    # ------------------------------------------------------------ compilation
+
+    def _compile(self, start_pc):
+        """Compile the straight-line block starting at *start_pc*.
+
+        Returns a :class:`CompiledBlock`, or ``None`` when no decodable
+        instruction starts there (the caller falls back to the
+        reference step, which raises the same :class:`CPUError` the
+        interpreter would).
+        """
+        cpu = self.cpu
+        fetch = cpu._fetch
+        decoded = []
+        pc = start_pc
+        sets_pc = False
+        while len(decoded) < MAX_BLOCK_OPS:
+            try:
+                instruction, size, _text, cycles = fetch(pc)
+            except CPUError:
+                break
+            if pc + size > 0x10000:
+                # The encoding wraps mod 64K; keep block byte ranges
+                # linear so invalidation stays two comparisons.
+                break
+            decoded.append((pc, instruction, size, cycles))
+            ends, writes_pc = _block_terminator(instruction)
+            if ends:
+                sets_pc = writes_pc
+                break
+            pc += size
+            if pc >= 0x10000:
+                break
+        if not decoded:
+            return None
+
+        mutates = any(_writes_memory(item[1]) for item in decoded)
+        ops = []
+        op_cycles = []
+        for pc_i, instruction, size, cycles in decoded:
+            next_pc = (pc_i + size) & 0xFFFF
+            op = self._specialized_op(instruction, pc_i, next_pc)
+            if op is None:
+                op = self._generic_op(instruction, next_pc)
+            ops.append(op)
+            op_cycles.append(cycles)
+        last_pc, _, last_size, _ = decoded[-1]
+        block = CompiledBlock(start_pc, last_pc + last_size, ops, op_cycles,
+                              mutates, sets_pc)
+        self._blocks[start_pc] = block
+        if block.start < self._span_min:
+            self._span_min = block.start
+        if block.end > self._span_max:
+            self._span_max = block.end
+        self.compiled += 1
+        return block
+
+    def _generic_op(self, instruction, next_pc):
+        """Replay the reference handler with step_silent's bookkeeping."""
+        cpu = self.cpu
+        regs = cpu.registers
+        handler = cpu._handlers[instruction.opcode]
+
+        def op(cpu=cpu, regs=regs, handler=handler, instruction=instruction,
+               next_pc=next_pc):
+            if cpu._writes:
+                cpu._writes = []
+            if cpu._reads:
+                cpu._reads = []
+            regs[PC] = next_pc
+            handler(instruction)
+
+        return op
+
+    # .......................................................... specialization
+
+    def _specialized_op(self, instruction, pc, next_pc):
+        """A flat closure for *instruction*, or ``None`` (use generic).
+
+        Specialized closures exist for the hot register/constant shapes:
+        all eight jumps (as block terminators) and the Format I ALU ops
+        whose operands never touch memory or PC.  They deliberately do
+        not advance ``regs[PC]`` per instruction; the block driver
+        restores PC at block exit (generic ops and jumps set it
+        themselves).
+        """
+        fmt = instruction.opcode.format
+        if fmt is InstructionFormat.JUMP:
+            return self._jump_op(instruction, pc)
+        if fmt is InstructionFormat.DOUBLE_OPERAND:
+            return self._double_op(instruction)
+        return None
+
+    def _jump_op(self, instruction, pc):
+        regs = self.cpu.registers
+        # The reference takes the branch after PC has advanced past the
+        # (always 2-byte) jump; both targets are even, so the PC
+        # setter's & 0xFFFE is a no-op here.
+        fall = (pc + 2) & 0xFFFF
+        taken = (fall + instruction.jump_offset) & 0xFFFF
+        opcode = instruction.opcode
+        if opcode is Opcode.JMP:
+            def op(regs=regs, taken=taken):
+                regs[PC] = taken
+        elif opcode is Opcode.JNE:
+            def op(regs=regs, taken=taken, fall=fall):
+                regs[PC] = fall if regs[SR] & _Z else taken
+        elif opcode is Opcode.JEQ:
+            def op(regs=regs, taken=taken, fall=fall):
+                regs[PC] = taken if regs[SR] & _Z else fall
+        elif opcode is Opcode.JNC:
+            def op(regs=regs, taken=taken, fall=fall):
+                regs[PC] = fall if regs[SR] & _C else taken
+        elif opcode is Opcode.JC:
+            def op(regs=regs, taken=taken, fall=fall):
+                regs[PC] = taken if regs[SR] & _C else fall
+        elif opcode is Opcode.JN:
+            def op(regs=regs, taken=taken, fall=fall):
+                regs[PC] = taken if regs[SR] & _N else fall
+        elif opcode is Opcode.JGE:
+            def op(regs=regs, taken=taken, fall=fall):
+                sr = regs[SR]
+                regs[PC] = taken if bool(sr & _N) == bool(sr & _V) else fall
+        elif opcode is Opcode.JL:
+            def op(regs=regs, taken=taken, fall=fall):
+                sr = regs[SR]
+                regs[PC] = taken if bool(sr & _N) != bool(sr & _V) else fall
+        else:  # pragma: no cover - the Opcode enum has exactly 8 jumps
+            return None
+        return op
+
+    def _double_op(self, instruction):
+        opcode = instruction.opcode
+        src = instruction.src
+        dst = instruction.dst
+        if dst.mode is not _REGISTER:
+            return None
+        rd = dst.register
+        byte_mode = instruction.byte_mode
+        mask = 0xFF if byte_mode else 0xFFFF
+        msb = 0x80 if byte_mode else 0x8000
+
+        # Source: a pre-masked constant, or a plain register read.  PC
+        # as source would read the stale per-block PC; leave it generic.
+        const = None
+        rs = None
+        if src.mode is _CONSTANT or src.mode is _IMMEDIATE:
+            const = src.value & mask
+        elif src.mode is _REGISTER:
+            if src.register == CG:
+                const = 0
+            elif src.register == PC:
+                return None
+            else:
+                rs = src.register
+        else:
+            return None
+
+        regs = self.cpu.registers
+        if opcode is Opcode.MOV:
+            if rd == CG:
+                # MOV #n, CG is the canonical NOP: no write, no flags.
+                return lambda: None
+            if rd == PC or rd == SR:
+                return None  # block terminators; generic handles them
+            if rd == SP:
+                if const is not None:
+                    value = const & 0xFFFE
+
+                    def op(regs=regs, value=value):
+                        regs[SP] = value
+                else:
+                    def op(regs=regs, rs=rs, mask=mask):
+                        regs[SP] = regs[rs] & mask & 0xFFFE
+            elif const is not None:
+                def op(regs=regs, rd=rd, const=const):
+                    regs[rd] = const
+            else:
+                def op(regs=regs, rd=rd, rs=rs, mask=mask):
+                    regs[rd] = regs[rs] & mask
+            return op
+
+        # The remaining ALU ops read the destination; restrict to the
+        # general registers so CG's read-as-zero and PC/SP/SR write
+        # masking stay the reference's problem.
+        if rd < 4:
+            return None
+        if opcode is Opcode.ADD or opcode is Opcode.ADDC:
+            with_carry = opcode is Opcode.ADDC
+            if const is not None:
+                def op(regs=regs, rd=rd, b=const, mask=mask, msb=msb,
+                       with_carry=with_carry):
+                    a = regs[rd] & mask
+                    total = a + b + (1 if (with_carry and regs[SR] & _C) else 0)
+                    result = total & mask
+                    sr = regs[SR] & _KEEP_NON_ARITH
+                    if total > mask:
+                        sr |= _C
+                    if result == 0:
+                        sr |= _Z
+                    if result & msb:
+                        sr |= _N
+                    if ~(a ^ b) & (a ^ result) & msb:
+                        sr |= _V
+                    regs[SR] = sr
+                    regs[rd] = result
+            else:
+                def op(regs=regs, rd=rd, rs=rs, mask=mask, msb=msb,
+                       with_carry=with_carry):
+                    a = regs[rd] & mask
+                    b = regs[rs] & mask
+                    total = a + b + (1 if (with_carry and regs[SR] & _C) else 0)
+                    result = total & mask
+                    sr = regs[SR] & _KEEP_NON_ARITH
+                    if total > mask:
+                        sr |= _C
+                    if result == 0:
+                        sr |= _Z
+                    if result & msb:
+                        sr |= _N
+                    if ~(a ^ b) & (a ^ result) & msb:
+                        sr |= _V
+                    regs[SR] = sr
+                    regs[rd] = result
+            return op
+
+        if opcode in (Opcode.SUB, Opcode.SUBC, Opcode.CMP):
+            borrow_carry = opcode is Opcode.SUBC
+            write_back = opcode is not Opcode.CMP
+            if const is not None:
+                nconst = (~const) & mask
+
+                def op(regs=regs, rd=rd, b=nconst, mask=mask, msb=msb,
+                       borrow_carry=borrow_carry, write_back=write_back):
+                    a = regs[rd] & mask
+                    if borrow_carry:
+                        carry_in = 1 if regs[SR] & _C else 0
+                    else:
+                        carry_in = 1
+                    total = a + b + carry_in
+                    result = total & mask
+                    sr = regs[SR] & _KEEP_NON_ARITH
+                    if total > mask:
+                        sr |= _C
+                    if result == 0:
+                        sr |= _Z
+                    if result & msb:
+                        sr |= _N
+                    if ~(a ^ b) & (a ^ result) & msb:
+                        sr |= _V
+                    regs[SR] = sr
+                    if write_back:
+                        regs[rd] = result
+            else:
+                def op(regs=regs, rd=rd, rs=rs, mask=mask, msb=msb,
+                       borrow_carry=borrow_carry, write_back=write_back):
+                    a = regs[rd] & mask
+                    b = (~(regs[rs] & mask)) & mask
+                    if borrow_carry:
+                        carry_in = 1 if regs[SR] & _C else 0
+                    else:
+                        carry_in = 1
+                    total = a + b + carry_in
+                    result = total & mask
+                    sr = regs[SR] & _KEEP_NON_ARITH
+                    if total > mask:
+                        sr |= _C
+                    if result == 0:
+                        sr |= _Z
+                    if result & msb:
+                        sr |= _N
+                    if ~(a ^ b) & (a ^ result) & msb:
+                        sr |= _V
+                    regs[SR] = sr
+                    if write_back:
+                        regs[rd] = result
+            return op
+
+        if opcode is Opcode.BIT or opcode is Opcode.AND:
+            write_back = opcode is Opcode.AND
+            if const is not None:
+                def op(regs=regs, rd=rd, b=const, mask=mask, msb=msb,
+                       write_back=write_back):
+                    result = regs[rd] & b & mask
+                    sr = regs[SR] & _KEEP_NON_ARITH
+                    if result & mask:
+                        sr |= _C
+                    else:
+                        sr |= _Z
+                    if result & msb:
+                        sr |= _N
+                    regs[SR] = sr
+                    if write_back:
+                        regs[rd] = result
+            else:
+                def op(regs=regs, rd=rd, rs=rs, mask=mask, msb=msb,
+                       write_back=write_back):
+                    result = regs[rd] & regs[rs] & mask
+                    sr = regs[SR] & _KEEP_NON_ARITH
+                    if result & mask:
+                        sr |= _C
+                    else:
+                        sr |= _Z
+                    if result & msb:
+                        sr |= _N
+                    regs[SR] = sr
+                    if write_back:
+                        regs[rd] = result
+            return op
+
+        if opcode is Opcode.BIC:
+            if const is not None:
+                keep = (~const) & mask
+
+                def op(regs=regs, rd=rd, keep=keep):
+                    regs[rd] = regs[rd] & keep
+            else:
+                def op(regs=regs, rd=rd, rs=rs, mask=mask):
+                    regs[rd] = (regs[rd] & ~(regs[rs] & mask)) & mask
+            return op
+
+        if opcode is Opcode.BIS:
+            if const is not None:
+                def op(regs=regs, rd=rd, b=const, mask=mask):
+                    regs[rd] = (regs[rd] & mask) | b
+            else:
+                def op(regs=regs, rd=rd, rs=rs, mask=mask):
+                    regs[rd] = (regs[rd] | regs[rs]) & mask
+            return op
+
+        if opcode is Opcode.XOR:
+            if const is not None:
+                def op(regs=regs, rd=rd, b=const, mask=mask, msb=msb):
+                    a = regs[rd] & mask
+                    result = (a ^ b) & mask
+                    sr = regs[SR] & _KEEP_NON_ARITH
+                    if result == 0:
+                        sr |= _Z
+                    else:
+                        sr |= _C
+                    if result & msb:
+                        sr |= _N
+                    if (a & msb) and (b & msb):
+                        sr |= _V
+                    regs[SR] = sr
+                    regs[rd] = result
+            else:
+                def op(regs=regs, rd=rd, rs=rs, mask=mask, msb=msb):
+                    a = regs[rd] & mask
+                    b = regs[rs] & mask
+                    result = (a ^ b) & mask
+                    sr = regs[SR] & _KEEP_NON_ARITH
+                    if result == 0:
+                        sr |= _Z
+                    else:
+                        sr |= _C
+                    if result & msb:
+                        sr |= _N
+                    if (a & msb) and (b & msb):
+                        sr |= _V
+                    regs[SR] = sr
+                    regs[rd] = result
+            return op
+
+        return None  # DADD (and anything new) stays on the reference path
+
+    # ------------------------------------------------------------ execution
+
+    def silent_chunk(self, chunk):
+        """Block-compiled variant of the observer-free chunk loop.
+
+        State effects (registers, memory, cycle/step/step_number
+        accounting, crash latching) are pinned identical to the
+        reference by the engine-differential suites.
+        """
+        device = self.device
+        cpu = self.cpu
+        regs = cpu.registers
+        get_block = self._blocks.get
+        step_silent = cpu.step_silent
+        executed = 0
+        chunk_cycles = 0
+        # Blocks bypass CPU.step_silent, so their cycle/step counts are
+        # accumulated locally and flushed once per chunk (and before any
+        # crash bundle, which reads cpu.step_count).
+        pending_steps = 0
+        pending_cycles = 0
+        last_cycles = device._last_step_cycles
+        try:
+            while executed < chunk and not device._periph_dirty:
+                if regs[SR] & _CPUOFF:
+                    last_cycles = step_silent()
+                    chunk_cycles += last_cycles
+                    executed += 1
+                    continue
+                pc = regs[PC]
+                block = get_block(pc)
+                if block is None:
+                    block = self._compile(pc)
+                n = block.count if block is not None else 0
+                if block is None or n > chunk - executed:
+                    last_cycles = step_silent()
+                    chunk_cycles += last_cycles
+                    executed += 1
+                    continue
+                ops = block.ops
+                if block.mutates:
+                    ran = 0
+                    try:
+                        for op in ops:
+                            op()
+                            ran += 1
+                            # A store can rewrite this very block or wake
+                            # the peripherals; react at the same
+                            # instruction boundary the reference would.
+                            if not block.valid or device._periph_dirty:
+                                break
+                    except CPUError:
+                        # A mutating op can fault at execution time (for
+                        # example writeback to an addressless operand).
+                        # Account for the ops that DID complete, exactly
+                        # as the reference loop would have counted them,
+                        # then let the outer handler latch the crash.
+                        op_cycles = block.op_cycles
+                        cycles = sum(op_cycles[:ran])
+                        executed += ran
+                        chunk_cycles += cycles
+                        pending_steps += ran
+                        pending_cycles += cycles
+                        if ran:
+                            last_cycles = op_cycles[ran - 1]
+                        raise
+                    op_cycles = block.op_cycles
+                    cycles = sum(op_cycles[:ran])
+                    executed += ran
+                    chunk_cycles += cycles
+                    pending_steps += ran
+                    pending_cycles += cycles
+                    last_cycles = op_cycles[ran - 1]
+                    if ran == n and not block.sets_pc:
+                        regs[PC] = block.exit_pc
+                    self.block_runs += 1
+                else:
+                    cycles_per_run = block.cycles_total
+                    sets_pc = block.sets_pc
+                    while True:
+                        for op in ops:
+                            op()
+                        executed += n
+                        chunk_cycles += cycles_per_run
+                        pending_steps += n
+                        pending_cycles += cycles_per_run
+                        self.block_runs += 1
+                        if not sets_pc:
+                            regs[PC] = block.exit_pc
+                            break
+                        # Hot self-loops re-run without a fresh lookup.
+                        if regs[PC] != pc or n > chunk - executed:
+                            break
+                    last_cycles = block.last_cycles
+        except CPUError as error:
+            # Raised by the step_silent fallback or by a faulting op in
+            # a mutating block (which has already accounted its
+            # completed ops above).  Either way the crashing step itself
+            # counts toward step_number but not step_count/cycle_count,
+            # mirroring the reference loop.
+            cpu.cycle_count += pending_cycles
+            cpu.step_count += pending_steps
+            device.step_number += executed + 1
+            device._latch_crash(error)
+            device._last_step_cycles = last_cycles
+            device.trace.count_cycles(chunk_cycles)
+            device._crash_bundle()
+            return executed + 1
+        cpu.cycle_count += pending_cycles
+        cpu.step_count += pending_steps
+        device.step_number += executed
+        device._last_step_cycles = last_cycles
+        device.trace.count_cycles(chunk_cycles)
+        return executed
+
+
+# ---------------------------------------------------------------------------
+# The registry
+# ---------------------------------------------------------------------------
+
+#: The engine registry: name -> ExecutionEngine subclass.
+ENGINES = {
+    "interp": InterpreterEngine,
+    "blocks": BlockEngine,
+}
+
+#: Explicit process-wide selection (set_engine/use_engine); ``None``
+#: defers to the environment variable / default.
+_active = None
+
+
+def register_engine(name, engine_factory):
+    """Register *engine_factory* (an :class:`ExecutionEngine` subclass)."""
+    ENGINES[name] = engine_factory
+    return engine_factory
+
+
+def engine_name():
+    """The name of the engine new devices will use."""
+    if _active is not None:
+        return _active
+    return os.environ.get(ENV_VAR, DEFAULT_ENGINE) or DEFAULT_ENGINE
+
+
+def engine_class(engine=None):
+    """Resolve *engine* (default: the active one) to an engine class.
+
+    :raises ValueError: for names missing from the registry (including
+        a typoed ``REPRO_EXEC_BACKEND``), so a misconfiguration fails
+        loudly at device construction instead of silently running slow.
+    """
+    name = engine if engine is not None else engine_name()
+    try:
+        return ENGINES[name]
+    except KeyError:
+        raise ValueError(
+            "unknown execution engine %r (registered: %s)"
+            % (name, ", ".join(sorted(ENGINES)))
+        ) from None
+
+
+def set_engine(name):
+    """Select the process-wide engine (``None`` defers to the environment)."""
+    global _active
+    if name is not None:
+        engine_class(name)  # validate eagerly
+    _active = name
+
+
+@contextmanager
+def use_engine(name):
+    """Context manager scoping an engine selection (tests, benchmarks)."""
+    global _active
+    previous = _active
+    set_engine(name)
+    try:
+        yield engine_class(name)
+    finally:
+        _active = previous
+
+
+def create_engine(device, engine=None):
+    """Instantiate the selected engine for *device* (without attaching)."""
+    return engine_class(engine)(device)

@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.cpu.core import CPU, CPUError
 from repro.cpu.decode_cache import DecodeCache
+from repro.cpu.engine import create_engine
 from repro.cpu.signals import MemoryWrite, SignalBundle
 from repro.device.trace import TraceRecorder
 from repro.memory.ivt import InterruptVectorTable
@@ -45,6 +46,10 @@ class DeviceConfig:
     fresh bytes.  ``trace_limit`` bounds the trace recorder to the last
     *N* entries (ring-buffer style) so crashed or soak runs cannot grow
     memory without limit; ``None`` keeps the full trace.
+
+    ``exec_engine`` names the execution engine driving the step loop
+    (see :mod:`repro.cpu.engine`); ``None`` defers to
+    ``set_engine``/``REPRO_EXEC_BACKEND``/the ``"interp"`` default.
     """
 
     layout: MemoryLayout = field(default_factory=MemoryLayout.default)
@@ -52,6 +57,7 @@ class DeviceConfig:
     trace_enabled: bool = True
     decode_cache_enabled: bool = True
     trace_limit: Optional[int] = None
+    exec_engine: Optional[str] = None
 
     def resolved_stack_top(self):
         """Return the effective initial stack pointer."""
@@ -158,8 +164,43 @@ class Device:
         #: and stops making progress instead of raising out of the run loop.
         self.crashed = False
         self.crash_reason = ""
+        #: Name of the execution engine that latched the crash ("" while
+        #: the device is healthy).  Diagnostic only: the crash reason and
+        #: bundles stay engine-independent.
+        self.crash_engine = ""
+        #: The pluggable step-loop implementation (see
+        #: :mod:`repro.cpu.engine`).  Attached last so its listeners see
+        #: the same wiring the decode cache and wake hooks do.
+        self.engine = create_engine(self, self.config.exec_engine)
+        self.engine.attach()
 
     # ------------------------------------------------------------ setup
+
+    @property
+    def exec_engine_name(self):
+        """The name of the active execution engine."""
+        return self.engine.name
+
+    def set_exec_engine(self, name):
+        """Swap the execution engine mid-session.
+
+        The outgoing engine is detached (its listeners removed) and
+        reset, dropping any compiled state it holds; the incoming
+        engine starts from a blank slate.  Returns the new engine.
+        """
+        outgoing = self.engine
+        outgoing.detach()
+        outgoing.reset()
+        self.engine = create_engine(self, name)
+        self.engine.attach()
+        return self.engine
+
+    def _latch_crash(self, error):
+        """Latch a :class:`CPUError` (annotated with the active engine)."""
+        self.crashed = True
+        self.crash_reason = str(error)
+        self.crash_engine = self.engine.name
+        error.engine = self.engine.name
 
     def attach_monitor(self, monitor):
         """Attach a hardware monitor (an object with ``observe(bundle)``)."""
@@ -197,7 +238,9 @@ class Device:
         self.watchdog_resets = 0
         self.crashed = False
         self.crash_reason = ""
+        self.crash_engine = ""
         self._periph_dirty = True
+        self.engine.reset()
 
     def schedule(self, step, action, label=""):
         """Schedule *action(device)* to run just before step number *step*.
@@ -258,10 +301,9 @@ class Device:
         else:
             pending = None
         try:
-            result = self.cpu.step(pending)
+            result = self.engine.step(pending)
         except CPUError as error:
-            self.crashed = True
-            self.crash_reason = str(error)
+            self._latch_crash(error)
             return self._crash_bundle()
         bundle = result.bundle
         self._last_step_cycles = bundle.cycles_consumed
@@ -318,37 +360,6 @@ class Device:
             # Events run arbitrary actions; conservatively leave the
             # quiescent fast loop so their effects are picked up.
             self._periph_dirty = True
-
-    def _step_silent_chunk(self, chunk):
-        """Observer-free variant of :meth:`_step_quiescent_chunk`.
-
-        With no monitor attached and trace recording disabled, nothing
-        can see the per-step signal bundle, so the loop uses
-        :meth:`~repro.cpu.core.CPU.step_silent` and skips bundle
-        construction entirely.  Device state (registers, memory, cycle
-        and step counters, trace cycle accounting) stays identical to
-        the per-step path.
-        """
-        cpu_step_silent = self.cpu.step_silent
-        executed = 0
-        cycles_total = 0
-        last_cycles = self._last_step_cycles
-        try:
-            while executed < chunk and not self._periph_dirty:
-                self.step_number += 1
-                last_cycles = cpu_step_silent()
-                cycles_total += last_cycles
-                executed += 1
-        except CPUError as error:
-            self.crashed = True
-            self.crash_reason = str(error)
-            self._last_step_cycles = last_cycles
-            self.trace.count_cycles(cycles_total)
-            self._crash_bundle()
-            return executed + 1
-        self._last_step_cycles = last_cycles
-        self.trace.count_cycles(cycles_total)
-        return executed
 
     def _crash_bundle(self):
         """Synthetic bundle emitted once the device has crashed."""
@@ -414,8 +425,11 @@ class Device:
         crash flag, the event schedule and the peripheral-tick decision
         are checked once per quiescent stretch instead of once per step:
         while no event is due, the peripherals are provably idle and the
-        device has not crashed, the inner loop goes straight from fetch
-        to trace.  This is the ROADMAP's "batching the step loop" lever;
+        device has not crashed, the chunk is handed to the execution
+        engine (:mod:`repro.cpu.engine`), which goes straight from fetch
+        to trace -- or, on the ``blocks`` engine's observer-free path,
+        straight through compiled basic blocks.  This is the ROADMAP's
+        "batching the step loop" lever;
         ``benchmarks/test_bench_sim_throughput.py`` records the speedup
         over the per-step :meth:`run` loop.
         """
@@ -437,58 +451,8 @@ class Device:
                     continue
                 if margin < chunk:
                     chunk = margin
-            remaining -= self._step_quiescent_chunk(chunk)
+            remaining -= self.engine.quiescent_chunk(chunk)
         return count
-
-    def _step_quiescent_chunk(self, chunk):
-        """Tight inner loop for :meth:`run_batch`.
-
-        Preconditions (established by the caller): the device has not
-        crashed, no scheduled event is due within *chunk* steps, and the
-        peripherals are quiescent with no interrupt pending.  The only
-        things that can change that from inside are a CPU write (which
-        raises ``_periph_dirty`` through the wake listener -- re-checked
-        every iteration) and an illegal instruction (handled exactly
-        like :meth:`step` does).
-        """
-        monitors = self.monitors
-        if not monitors and not self.trace.enabled:
-            return self._step_silent_chunk(chunk)
-        cpu_step_quiet = self.cpu.step_quiet
-        exporters = self._signal_exporters
-        record = self.trace.record
-        dma = self.dma
-        executed = 0
-        while executed < chunk:
-            if self._periph_dirty:
-                break
-            self.step_number += 1
-            try:
-                bundle = cpu_step_quiet()
-            except CPUError as error:
-                self.crashed = True
-                self.crash_reason = str(error)
-                self._crash_bundle()
-                executed += 1
-                break
-            self._last_step_cycles = bundle.cycles_consumed
-            if dma._step_reads or dma._step_writes:
-                bundle.dma_en = True
-                bundle.dma_reads = dma._step_reads
-                bundle.dma_writes = dma._step_writes
-            if exporters:
-                monitor_signals = {}
-                for monitor in monitors:
-                    monitor.observe(bundle)
-                for monitor in exporters:
-                    monitor_signals.update(monitor.signal_values())
-                record(bundle, monitor_signals)
-            else:
-                for monitor in monitors:
-                    monitor.observe(bundle)
-                record(bundle)
-            executed += 1
-        return executed
 
     # ------------------------------------------------------------ helpers
 

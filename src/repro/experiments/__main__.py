@@ -15,8 +15,10 @@ experiment exits 1.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
+from repro.cpu.engine import ENGINES, ENV_VAR as ENGINE_ENV_VAR
 from repro.experiments import runners
 from repro.sim import BACKENDS, CampaignRunner
 
@@ -54,6 +56,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--warm-pool", action="store_true", dest="warm_pool",
         help="keep process-pool workers alive across campaigns so they "
              "reuse cached firmware images (process backend only)",
+    )
+    parser.add_argument(
+        "--engine", choices=sorted(ENGINES), default=None,
+        help="execution engine for every simulated device (default: the "
+             "%s environment variable, then 'interp'); campaign specs "
+             "carry the selection to process-pool and remote workers"
+             % ENGINE_ENV_VAR,
     )
     parser.add_argument(
         "--json", dest="json_path", metavar="PATH", default=None,
@@ -97,8 +106,22 @@ def main(argv=None):
         return 2
 
     campaign = CampaignRunner(backend=args.backend, jobs=args.jobs,
-                              warm=args.warm_pool)
-    results = runners.run_all_experiments(skip=skip, campaign=campaign)
+                              warm=args.warm_pool, engine=args.engine)
+    # The campaign override only reaches pox-kind specs; exporting the
+    # selection process-wide covers attack/ltl/job bodies (and is
+    # inherited by pool workers).  Restored afterwards so main() stays
+    # usable as a plain function from tests.
+    previous_engine = os.environ.get(ENGINE_ENV_VAR)
+    if args.engine is not None:
+        os.environ[ENGINE_ENV_VAR] = args.engine
+    try:
+        results = runners.run_all_experiments(skip=skip, campaign=campaign)
+    finally:
+        if args.engine is not None:
+            if previous_engine is None:
+                os.environ.pop(ENGINE_ENV_VAR, None)
+            else:
+                os.environ[ENGINE_ENV_VAR] = previous_engine
     for result in results:
         print(result.render())
         print()

@@ -75,7 +75,8 @@ class Fleet:
                  firmware=None, transport: str = "loopback",
                  conditions: Optional[LinkConditions] = None,
                  deadline: Optional[float] = None,
-                 service: Optional[VerifierService] = None):
+                 service: Optional[VerifierService] = None,
+                 exec_engine: Optional[str] = None):
         if size < 1:
             raise ValueError("fleet size must be >= 1, got %r" % size)
         if transport not in TRANSPORTS:
@@ -97,6 +98,9 @@ class Fleet:
         self.conditions = conditions
         self.deadline = deadline
         self.service = service or VerifierService()
+        #: Execution engine for every prover device (``None`` defers to
+        #: the process-wide selection; see :mod:`repro.cpu.engine`).
+        self.exec_engine = exec_engine
         self.benches: List[PoxTestbench] = []
 
     # ------------------------------------------------------------ setup
@@ -113,7 +117,8 @@ class Fleet:
         verifier = self.service.verifier
         for index in range(self.size):
             config = TestbenchConfig(architecture=self.architecture,
-                                     device_id="prover-%04d" % index)
+                                     device_id="prover-%04d" % index,
+                                     exec_engine=self.exec_engine)
             bench = PoxTestbench(firmware, config, pox_verifier=shared)
             device = bench.device
             # Plain RA attests program memory; the verifier learned the

@@ -37,6 +37,7 @@ backend:
 from __future__ import annotations
 
 import atexit
+import dataclasses
 import multiprocessing
 import os
 import threading
@@ -369,10 +370,19 @@ class CampaignRunner:
     ``warm=True`` (process backend only) draws workers from a
     persistent, module-wide pool instead of forking a fresh one per
     campaign; see :func:`shutdown_warm_pools`.
+
+    ``engine`` pins the execution engine (:mod:`repro.cpu.engine`) for
+    every ``kind="pox"`` spec of the campaign by injecting an
+    ``exec_engine`` config override -- the override is part of the spec,
+    so it travels to process-pool and remote workers.  Specs that
+    already carry their own ``exec_engine`` override keep it; non-pox
+    kinds (attack/ltl/job bodies) build their devices outside the spec's
+    config and follow the process-wide selection
+    (``set_engine``/``REPRO_EXEC_BACKEND``) instead.
     """
 
     def __init__(self, backend: str = "serial", jobs: Optional[int] = None,
-                 warm: bool = False):
+                 warm: bool = False, engine: Optional[str] = None):
         if backend not in BACKENDS:
             raise ValueError("backend must be one of %s, got %r"
                              % (", ".join(BACKENDS), backend))
@@ -381,13 +391,30 @@ class CampaignRunner:
         if warm and backend != "process":
             raise ValueError("warm pools apply to the process backend only, "
                              "not %r" % backend)
+        if engine is not None:
+            # Imported lazily to keep the campaign engine importable
+            # without the simulator stack at the top of the module.
+            from repro.cpu.engine import engine_class
+
+            engine_class(engine)  # validate eagerly, fail loudly
         self.backend = backend
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
         self.warm = warm
+        self.engine = engine
+
+    def _spec_with_engine(self, spec: ScenarioSpec) -> ScenarioSpec:
+        if spec.kind != "pox":
+            return spec
+        if any(key == "exec_engine" for key, _value in spec.config_overrides):
+            return spec
+        overrides = spec.config_overrides + (("exec_engine", self.engine),)
+        return dataclasses.replace(spec, config_overrides=overrides)
 
     def run(self, specs: Sequence[ScenarioSpec]) -> CampaignResult:
         """Execute every spec; return a :class:`CampaignResult`."""
         specs = list(specs)
+        if self.engine is not None:
+            specs = [self._spec_with_engine(spec) for spec in specs]
         started = time.perf_counter()
         if self.backend == "remote" and specs:
             results = self._run_remote(specs)

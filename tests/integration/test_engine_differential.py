@@ -1,0 +1,213 @@
+"""Differential tests: the block engine must be observably invisible.
+
+The ``blocks`` execution engine compiles hot straight-line code into
+specialized closures; these tests pin it byte-identical to the
+``interp`` reference across the surfaces that matter -- full PoX
+exchanges with asynchronous events, the attack gallery, campaign rows,
+and raw silent execution including self-modifying code that rewrites an
+already-compiled block.
+"""
+
+import pytest
+
+from repro.cpu.engine import use_engine
+from repro.device.mcu import Device, DeviceConfig
+from repro.firmware.attacks import attack_suite
+from repro.firmware.blinker import blinker_firmware
+from repro.firmware.syringe_pump import (
+    PumpParameters,
+    busy_wait_pump_firmware,
+    syringe_pump_firmware,
+)
+from repro.firmware.testbench import PoxTestbench, TestbenchConfig
+from repro.isa.assembler import Assembler
+from repro.peripherals.registers import PeripheralRegisters
+from repro.sim.runner import CampaignRunner
+from repro.sim.scenario import FirmwareRef, ScenarioSpec
+
+
+ENGINES_UNDER_TEST = ("interp", "blocks")
+
+
+def _entry_tuple(entry):
+    return (
+        entry.step,
+        entry.cycle,
+        entry.pc,
+        entry.next_pc,
+        entry.irq,
+        entry.irq_source,
+        entry.instruction,
+        tuple(sorted(entry.monitor_signals.items())),
+    )
+
+
+def _run(firmware, architecture, engine, setup=None):
+    bench = PoxTestbench(firmware, TestbenchConfig(
+        architecture=architecture, exec_engine=engine,
+    ))
+    result = bench.run_pox(setup=setup)
+    return bench, result
+
+
+def _assert_identical(firmware_factory, architecture="asap", setup=None):
+    bench_ref, result_ref = _run(firmware_factory(), architecture,
+                                 "interp", setup)
+    bench_blk, result_blk = _run(firmware_factory(), architecture,
+                                 "blocks", setup)
+
+    assert result_blk.accepted == result_ref.accepted
+    assert result_blk.reason == result_ref.reason
+    assert bench_blk.exec_flag == bench_ref.exec_flag
+    assert (bench_blk.device.interrupt_controller.serviced
+            == bench_ref.device.interrupt_controller.serviced)
+    assert bench_blk.output_bytes() == bench_ref.output_bytes()
+
+    entries_ref = [_entry_tuple(entry) for entry in bench_ref.device.trace]
+    entries_blk = [_entry_tuple(entry) for entry in bench_blk.device.trace]
+    assert entries_blk == entries_ref
+
+
+FIRMWARE_IMAGES = [
+    pytest.param(lambda: blinker_firmware(authorized=True), id="blinker-authorized"),
+    pytest.param(lambda: blinker_firmware(authorized=False), id="blinker-unauthorized"),
+    pytest.param(lambda: syringe_pump_firmware(PumpParameters(dosage_cycles=120)),
+                 id="syringe-pump"),
+    pytest.param(lambda: busy_wait_pump_firmware(PumpParameters(dosage_cycles=120)),
+                 id="busy-wait-pump"),
+]
+
+
+class TestPoxTraceIdentity:
+    @pytest.mark.parametrize("firmware_factory", FIRMWARE_IMAGES)
+    def test_asap_pox_traces_identical(self, firmware_factory):
+        _assert_identical(
+            firmware_factory, "asap",
+            setup=lambda device: device.schedule_button_press(6),
+        )
+
+    def test_apex_pox_traces_identical(self):
+        _assert_identical(lambda: blinker_firmware(authorized=True), "apex")
+
+
+class TestAttackGalleryUnderBlocks:
+    def test_every_attack_scenario_still_detected(self):
+        """The gallery rewrites code and the IVT mid-run; under the
+        block engine every scenario must still end detected."""
+        with use_engine("blocks"):
+            for scenario in attack_suite():
+                outcome = scenario.run()
+                assert outcome.detected, scenario.name
+
+
+class TestCampaignRowIdentity:
+    SPECS = [
+        ScenarioSpec(name="pox-blinker", firmware=FirmwareRef.of("blinker")),
+        ScenarioSpec(name="pox-pump",
+                     firmware=FirmwareRef.of(
+                         "syringe_pump",
+                         params=PumpParameters(dosage_cycles=120))),
+        ScenarioSpec(name="attack-ivt", kind="attack",
+                     attack="dma-write-ivt-during-execution"),
+    ]
+
+    def test_campaign_rows_identical_across_engines(self):
+        rows = {}
+        for engine in ENGINES_UNDER_TEST:
+            campaign = CampaignRunner(engine=engine).run(self.SPECS)
+            assert all(result.ok for result in campaign), \
+                [result.failure_summary() for result in campaign]
+            rows[engine] = campaign.rows()
+        assert rows["blocks"] == rows["interp"]
+
+
+# ---------------------------------------------------------------------------
+# Self-modifying code through an already-compiled block
+# ---------------------------------------------------------------------------
+
+STOP_WATCHDOG = "MOV #0x5A80, &0x%04X\n" % PeripheralRegisters.WDTCTL
+
+
+def _encode_single(source):
+    """The encoded word of a one-instruction snippet (read back through
+    a scratch device, so the test never hardcodes an encoding)."""
+    image = Assembler().assemble(".section .text\n" + source,
+                                 section_addresses={".text": 0xE000})
+    device = Device(DeviceConfig(trace_enabled=False))
+    image.write_to(device.memory)
+    return device.memory.peek_word(0xE000)
+
+
+# The loop body starts as "INC R6" (count by one) and is rewritten
+# in-place to "ADD #2, R6" (count by two) after the first pass -- the
+# rewrite targets a word inside a block the engine has already
+# compiled and re-run many times.
+SELF_MODIFYING_SOURCE = STOP_WATCHDOG + """
+CLR R7
+outer:
+CLR R6
+loop:
+INC R6
+CMP #40, R6
+JL loop
+MOV #0x%04X, &loop
+INC R7
+CMP #4, R7
+JL outer
+done:
+JMP done
+"""
+
+
+def _load(device, source, base=0xE000):
+    image = Assembler().assemble(".section .text\n" + source,
+                                 section_addresses={".text": base})
+    image.write_to(device.memory)
+    device.ivt.set_reset_vector(base)
+    device.reset()
+
+
+def _state(device):
+    return {
+        "registers": list(device.cpu.registers),
+        "step_count": device.cpu.step_count,
+        "cycle_count": device.cpu.cycle_count,
+        "step_number": device.step_number,
+        "crashed": device.crashed,
+        "crash_reason": device.crash_reason,
+        "memory": device.memory.dump(0, 0x10000),
+    }
+
+
+class TestSelfModifyingCode:
+    def test_rewriting_a_compiled_block_stays_identical(self):
+        add2_word = _encode_single("ADD #2, R6")
+        inc_word = _encode_single("INC R6")
+        assert add2_word != inc_word  # the rewrite is a real change
+        source = SELF_MODIFYING_SOURCE % add2_word
+
+        states = {}
+        engines = {}
+        for engine in ENGINES_UNDER_TEST:
+            device = Device(DeviceConfig(trace_enabled=False,
+                                         exec_engine=engine))
+            _load(device, source)
+            # Two chunks so the second run_batch re-enters compiled
+            # blocks that survived the first.
+            device.run_batch(137)
+            device.run_batch(863)
+            states[engine] = _state(device)
+            engines[engine] = device.engine
+        assert states["blocks"] == states["interp"]
+        assert not states["interp"]["crashed"]
+
+        # The run must actually have exercised the block compiler and
+        # the write-listener invalidation path.
+        stats = engines["blocks"].stats()
+        assert stats["compiled"] > 0
+        assert stats["block_runs"] > 0
+        assert stats["block_invalidations"] > 0
+        # And the loop really did switch to counting by two: after the
+        # rewrite, three more passes of 20 iterations each ran.
+        regs = states["blocks"]["registers"]
+        assert regs[7] == 4

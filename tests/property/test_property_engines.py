@@ -1,0 +1,161 @@
+"""Property-based engine differential: random programs, identical state.
+
+Random ISA programs (reusing the encoding-space strategies from
+``test_property_isa``) run to completion under both registered
+execution engines; afterwards the devices must agree on every register,
+every counter, the crash latch and all 64 KiB of memory.  A second
+property fuzzes self-modifying code: a hot loop rewrites its own body
+-- a word inside a block the ``blocks`` engine has already compiled --
+with an arbitrary 16-bit value, and both engines must still agree on
+whatever happens next (including crashing identically).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from test_property_isa import instructions
+
+from repro.device.mcu import Device, DeviceConfig
+from repro.isa.encoding import encode_instruction
+from repro.isa.instructions import Instruction, Opcode, Operand
+from repro.peripherals.registers import PeripheralRegisters
+
+
+ENGINES_UNDER_TEST = ("interp", "blocks")
+
+BASE = 0xE000
+
+#: ``MOV #0x5A80, &WDTCTL`` -- stop the watchdog.  Without it the
+#: watchdog peripheral keeps every chunk non-quiescent and the silent
+#: fast path (where compiled blocks actually execute) never engages.
+_STOP_WATCHDOG = Instruction(
+    Opcode.MOV, src=Operand.imm(0x5A80),
+    dst=Operand.absolute(PeripheralRegisters.WDTCTL),
+)
+
+#: ``JMP $`` -- park the program in a tight self-loop when it falls
+#: through its random body (the blocks engine's hottest shape).
+_SELF_LOOP = Instruction(Opcode.JMP, jump_offset=-2)
+
+
+def _assemble_words(instruction_list):
+    words = []
+    for instruction in instruction_list:
+        words.extend(encode_instruction(instruction))
+    return words
+
+
+def _program_bytes(instruction_list):
+    words = _assemble_words(
+        [_STOP_WATCHDOG] + instruction_list + [_SELF_LOOP])
+    data = bytearray()
+    for word in words:
+        data.append(word & 0xFF)
+        data.append((word >> 8) & 0xFF)
+    return bytes(data)
+
+
+def _fresh_device(engine, program, register_values):
+    device = Device(DeviceConfig(trace_enabled=False, exec_engine=engine))
+    device.memory.load_bytes(BASE, program)
+    device.ivt.set_reset_vector(BASE)
+    device.reset()
+    for index, value in enumerate(register_values, start=4):
+        device.cpu.registers[index] = value
+    return device
+
+
+def _final_state(device):
+    return {
+        "registers": list(device.cpu.registers),
+        "step_count": device.cpu.step_count,
+        "cycle_count": device.cpu.cycle_count,
+        "step_number": device.step_number,
+        "crashed": device.crashed,
+        "crash_reason": device.crash_reason,
+        "watchdog_resets": device.watchdog_resets,
+        "memory": device.memory.dump(0, 0x10000),
+    }
+
+
+def _run_both(program, register_values, chunks=(137, 163)):
+    states = {}
+    for engine in ENGINES_UNDER_TEST:
+        device = _fresh_device(engine, program, register_values)
+        for chunk in chunks:
+            device.run_batch(chunk)
+        states[engine] = _final_state(device)
+    return states
+
+
+register_files = st.lists(
+    st.integers(min_value=0, max_value=0xFFFF), min_size=12, max_size=12)
+
+
+class TestRandomProgramsIdentical:
+    @given(
+        body=st.lists(instructions(), min_size=1, max_size=16),
+        register_values=register_files,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_both_engines_reach_identical_state(self, body, register_values):
+        states = _run_both(_program_bytes(body), register_values)
+        assert states["blocks"] == states["interp"]
+
+
+class TestFoundCounterexamples:
+    def test_fault_inside_compiled_mutating_block(self):
+        """Hypothesis-found: ``RRC #0`` faults at execution time (no
+        writeback address) from *inside* a compiled mutating block, and
+        the engine must still account the ops that completed before the
+        fault -- step_count/cycle_count once drifted here."""
+        body = [
+            Instruction(Opcode.MOV, src=Operand.reg(4),
+                        dst=Operand.reg(4)),
+            Instruction(Opcode.MOV, src=Operand.reg(4),
+                        dst=Operand.reg(4)),
+            Instruction(Opcode.MOV, src=Operand.reg(4),
+                        dst=Operand.reg(4)),
+            Instruction(Opcode.RRC, src=Operand.imm(0)),
+        ]
+        states = _run_both(_program_bytes(body), [0] * 12)
+        assert states["blocks"] == states["interp"]
+        assert states["interp"]["crashed"]
+
+
+class TestSelfModifyingProgramsIdentical:
+    @given(
+        rewrite_word=st.integers(min_value=0, max_value=0xFFFF),
+        register_values=register_files,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_rewritten_hot_loop_stays_identical(self, rewrite_word,
+                                                register_values):
+        # loop: INC R6 / CMP #24, R6 / JL loop -- then smash the INC at
+        # `loop` with an arbitrary word and fall into the loop again.
+        prologue_len = len(_assemble_words([_STOP_WATCHDOG])) * 2
+        loop_address = BASE + prologue_len
+        body = [
+            Instruction(Opcode.ADD, src=Operand.imm(1),
+                        dst=Operand.reg(6)),                       # loop:
+            Instruction(Opcode.CMP, src=Operand.imm(24),
+                        dst=Operand.reg(6)),
+            Instruction(Opcode.JL, jump_offset=0),                 # patched
+            Instruction(Opcode.MOV, src=Operand.imm(rewrite_word),
+                        dst=Operand.absolute(loop_address)),
+            Instruction(Opcode.JMP, jump_offset=0),                # patched
+        ]
+        # Patch the jump offsets now that sizes are known: JL back to
+        # `loop`, JMP back to `loop` as well (re-entering the rewritten
+        # body, whatever it now decodes to).
+        sizes = [instruction.size_words() * 2 for instruction in body]
+        # JL at index 2: target = loop start.
+        jl_pc = loop_address + sizes[0] + sizes[1]
+        body[2] = Instruction(Opcode.JL,
+                              jump_offset=loop_address - (jl_pc + 2))
+        jmp_pc = jl_pc + sizes[2] + sizes[3]
+        body[4] = Instruction(Opcode.JMP,
+                              jump_offset=loop_address - (jmp_pc + 2))
+
+        states = _run_both(_program_bytes(body), register_values,
+                           chunks=(151, 249))
+        assert states["blocks"] == states["interp"]

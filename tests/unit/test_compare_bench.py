@@ -1,0 +1,104 @@
+"""Unit tests for ``benchmarks/compare_bench.py`` (the CI perf gate)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parents[2] / "benchmarks" / "compare_bench.py"
+_spec = importlib.util.spec_from_file_location("compare_bench", _SCRIPT)
+compare_bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(compare_bench)
+
+
+def _payload(interp, blocks):
+    return {
+        "benchmark": "execution_engine_throughput",
+        "rows": [
+            {"engine": "interp", "steps_per_sec": interp},
+            {"engine": "blocks", "steps_per_sec": blocks},
+        ],
+    }
+
+
+def _write(path, payload):
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestCompare:
+    def test_no_regression_when_identical(self):
+        rates = {"interp": 100.0, "blocks": 1000.0}
+        assert compare_bench.compare(rates, dict(rates), 0.30) == []
+
+    def test_normalized_mode_ignores_machine_speed(self):
+        # Half-speed machine, same relative speedup: not a regression.
+        baseline = {"interp": 100.0, "blocks": 1000.0}
+        current = {"interp": 50.0, "blocks": 500.0}
+        assert compare_bench.compare(baseline, current, 0.30) == []
+
+    def test_normalized_mode_catches_speedup_collapse(self):
+        # Same absolute interp rate but the blocks speedup fell 10x.
+        baseline = {"interp": 100.0, "blocks": 1000.0}
+        current = {"interp": 100.0, "blocks": 100.0}
+        regressions = compare_bench.compare(baseline, current, 0.30)
+        assert [engine for engine, _, _ in regressions] == ["blocks"]
+
+    def test_absolute_mode_catches_uniform_slowdown(self):
+        baseline = {"interp": 100.0, "blocks": 1000.0}
+        current = {"interp": 50.0, "blocks": 500.0}
+        regressions = compare_bench.compare(baseline, current, 0.30,
+                                            absolute=True)
+        assert [engine for engine, _, _ in regressions] \
+            == ["blocks", "interp"]
+
+    def test_drop_within_threshold_passes(self):
+        baseline = {"interp": 100.0, "blocks": 1000.0}
+        current = {"interp": 100.0, "blocks": 750.0}  # -25% < 30%
+        assert compare_bench.compare(baseline, current, 0.30) == []
+
+    def test_dropped_row_is_a_regression(self):
+        baseline = {"interp": 100.0, "blocks": 1000.0}
+        regressions = compare_bench.compare(baseline, {"interp": 100.0}, 0.30)
+        assert regressions == [("blocks", 10.0, None)]
+
+    def test_normalize_requires_reference_row(self):
+        with pytest.raises(SystemExit):
+            compare_bench.normalize({"blocks": 1000.0})
+
+
+class TestMain:
+    def test_exit_zero_when_clean(self, tmp_path, capsys):
+        baseline = _write(tmp_path / "base.json", _payload(100.0, 1000.0))
+        current = _write(tmp_path / "cur.json", _payload(90.0, 950.0))
+        code = compare_bench.main([
+            "--baseline", str(baseline), "--current", str(current)])
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        baseline = _write(tmp_path / "base.json", _payload(100.0, 1000.0))
+        current = _write(tmp_path / "cur.json", _payload(100.0, 100.0))
+        code = compare_bench.main([
+            "--baseline", str(baseline), "--current", str(current)])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_missing_current_file_exits_nonzero(self, tmp_path):
+        baseline = _write(tmp_path / "base.json", _payload(100.0, 1000.0))
+        with pytest.raises(SystemExit):
+            compare_bench.main([
+                "--baseline", str(baseline),
+                "--current", str(tmp_path / "missing.json")])
+
+    def test_bad_threshold_rejected(self, tmp_path):
+        baseline = _write(tmp_path / "base.json", _payload(100.0, 1000.0))
+        with pytest.raises(SystemExit):
+            compare_bench.main([
+                "--baseline", str(baseline), "--current", str(baseline),
+                "--threshold", "1.5"])
+
+    def test_committed_baseline_is_loadable(self):
+        rates = compare_bench.load_rates(compare_bench.DEFAULT_BASELINE)
+        assert "interp" in rates and "blocks" in rates

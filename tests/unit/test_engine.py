@@ -1,0 +1,266 @@
+"""Unit tests for the execution-engine registry and its plumbing.
+
+The differential suites (``tests/integration/test_engine_differential.py``,
+``tests/property/test_property_engines.py``) pin the ``blocks`` engine
+byte-identical to the reference; this file covers the registry
+mechanics, the config plumbing through testbench/campaign/fleet/CLI,
+crash-context reporting and compiled-block lifecycle (invalidation,
+decode-cache clears, mid-session swaps).
+"""
+
+import pytest
+
+from repro.cpu import engine as engine_module
+from repro.cpu.core import CPUError
+from repro.cpu.decode_cache import DecodeCache
+from repro.cpu.engine import (
+    ENGINES,
+    BlockEngine,
+    ExecutionEngine,
+    engine_class,
+    engine_name,
+    register_engine,
+    set_engine,
+    use_engine,
+)
+from repro.device.mcu import Device, DeviceConfig
+from repro.firmware.testbench import TestbenchConfig
+from repro.isa.assembler import Assembler
+from repro.peripherals.registers import PeripheralRegisters
+from repro.sim.runner import CampaignRunner
+from repro.sim.scenario import FirmwareRef, ScenarioSpec, StopSpec
+
+
+STOP_WATCHDOG = "MOV #0x5A80, &0x%04X\n" % PeripheralRegisters.WDTCTL
+
+
+def load_program(device, source, base=0xE000):
+    image = Assembler().assemble(
+        ".section .text\n" + source, section_addresses={".text": base}
+    )
+    image.write_to(device.memory)
+    device.ivt.set_reset_vector(base)
+    device.reset()
+    return image
+
+
+def silent_device(engine):
+    """A trace-less device (the silent path is where blocks execute)."""
+    return Device(DeviceConfig(trace_enabled=False, exec_engine=engine))
+
+
+class TestRegistry:
+    def test_default_engine_is_interp(self, monkeypatch):
+        monkeypatch.delenv(engine_module.ENV_VAR, raising=False)
+        assert engine_name() == "interp"
+        assert engine_class() is engine_module.InterpreterEngine
+
+    def test_environment_variable_selects(self, monkeypatch):
+        monkeypatch.setenv(engine_module.ENV_VAR, "blocks")
+        assert engine_name() == "blocks"
+        assert Device(DeviceConfig()).engine.name == "blocks"
+
+    def test_set_engine_overrides_environment(self, monkeypatch):
+        monkeypatch.setenv(engine_module.ENV_VAR, "blocks")
+        set_engine("interp")
+        try:
+            assert engine_name() == "interp"
+        finally:
+            set_engine(None)
+        assert engine_name() == "blocks"
+
+    def test_use_engine_scopes_and_restores(self, monkeypatch):
+        monkeypatch.delenv(engine_module.ENV_VAR, raising=False)
+        assert engine_name() == "interp"
+        with use_engine("blocks") as cls:
+            assert cls is BlockEngine
+            assert Device(DeviceConfig()).engine.name == "blocks"
+        assert engine_name() == "interp"
+
+    def test_unknown_engine_fails_loudly(self):
+        with pytest.raises(ValueError, match="blocks, interp"):
+            engine_class("sparta")
+        with pytest.raises(ValueError):
+            Device(DeviceConfig(exec_engine="sparta"))
+
+    def test_register_engine_extends_registry(self):
+        class NullEngine(ExecutionEngine):
+            name = "null-test"
+
+        register_engine("null-test", NullEngine)
+        try:
+            assert engine_class("null-test") is NullEngine
+            assert Device(DeviceConfig(exec_engine="null-test")).engine.name \
+                == "null-test"
+        finally:
+            del ENGINES["null-test"]
+
+
+class TestConfigPlumbing:
+    def test_device_config_selects_engine(self, monkeypatch):
+        monkeypatch.delenv(engine_module.ENV_VAR, raising=False)
+        assert Device(DeviceConfig(exec_engine="blocks")).engine.name == "blocks"
+        assert Device(DeviceConfig()).engine.name == "interp"
+
+    def test_testbench_config_forwards_engine(self):
+        from repro.firmware.blinker import blinker_firmware
+        from repro.firmware.testbench import PoxTestbench
+
+        bench = PoxTestbench(blinker_firmware(authorized=True),
+                             TestbenchConfig(exec_engine="blocks"))
+        assert bench.device.engine.name == "blocks"
+        assert bench.device.exec_engine_name == "blocks"
+
+    def test_campaign_runner_injects_override_into_pox_specs(self):
+        spec = ScenarioSpec(name="s", firmware=FirmwareRef.of("blinker"),
+                            stop=StopSpec(kind="steps", value=10))
+        runner = CampaignRunner(engine="blocks")
+        rewritten = runner._spec_with_engine(spec)
+        assert ("exec_engine", "blocks") in rewritten.config_overrides
+        assert rewritten.testbench_config().exec_engine == "blocks"
+
+    def test_campaign_runner_respects_existing_override(self):
+        spec = ScenarioSpec(name="s", firmware=FirmwareRef.of("blinker"),
+                            stop=StopSpec(kind="steps", value=10),
+                            config_overrides=(("exec_engine", "interp"),))
+        rewritten = CampaignRunner(engine="blocks")._spec_with_engine(spec)
+        assert rewritten.config_overrides == (("exec_engine", "interp"),)
+
+    def test_campaign_runner_validates_engine_eagerly(self):
+        with pytest.raises(ValueError, match="unknown execution engine"):
+            CampaignRunner(engine="sparta")
+
+    def test_cli_engine_flag(self):
+        from repro.experiments.__main__ import build_parser, main
+
+        args = build_parser().parse_args(["--engine", "blocks"])
+        assert args.engine == "blocks"
+        assert main(["--engine", "sparta"]) == 2  # argparse rejects
+
+    def test_fleet_forwards_engine_to_every_prover(self):
+        from repro.net.fleet import Fleet
+
+        fleet = Fleet(size=2, exec_engine="blocks")
+        fleet._build_benches()
+        assert [bench.device.engine.name for bench in fleet.benches] \
+            == ["blocks", "blocks"]
+
+
+class TestCrashContext:
+    def test_crash_reports_engine_name(self):
+        for engine in ("interp", "blocks"):
+            device = silent_device(engine)
+            device.cpu.pc = 0x5000  # unprogrammed memory
+            device.run_batch(5)
+            assert device.crashed
+            assert device.crash_engine == engine
+            assert "illegal instruction" in device.crash_reason
+
+    def test_crash_reason_is_engine_independent(self):
+        reasons = {}
+        for engine in ("interp", "blocks"):
+            device = silent_device(engine)
+            device.cpu.pc = 0x5000
+            device.run_batch(5)
+            reasons[engine] = device.crash_reason
+        assert reasons["interp"] == reasons["blocks"]
+
+    def test_cpuerror_carries_engine_attribute(self):
+        device = silent_device("blocks")
+        device.cpu.pc = 0x5000
+        device._periph_dirty = False  # silent path only runs when quiescent
+        try:
+            device.engine.silent_chunk(5)
+        except CPUError:  # pragma: no cover - latched, not raised
+            pytest.fail("chunk loops latch the crash instead of raising")
+        assert device.crash_engine == "blocks"
+
+    def test_reset_clears_crash_engine(self):
+        device = silent_device("blocks")
+        load_program(device, STOP_WATCHDOG + "loop:\nNOP\nJMP loop\n")
+        device.cpu.pc = 0x5000
+        device.run_batch(5)
+        assert device.crash_engine == "blocks"
+        device.reset()
+        assert device.crash_engine == ""
+        assert not device.crashed
+
+
+class TestCompiledBlockLifecycle:
+    def _hot_device(self):
+        device = silent_device("blocks")
+        load_program(device, STOP_WATCHDOG + "loop:\nNOP\nJMP loop\n")
+        device.run_batch(200)
+        assert device.engine._blocks, "hot loop should have compiled"
+        return device
+
+    def test_decode_cache_clear_flushes_compiled_blocks(self):
+        device = self._hot_device()
+        device.decode_cache.clear()
+        assert device.engine._blocks == {}
+
+    def test_reflash_flushes_compiled_blocks(self):
+        # load_bytes over the program region triggers the full-flush
+        # path of the decode cache *and* the engine's own listener.
+        device = self._hot_device()
+        device.memory.load_bytes(0xE000, bytes(128))
+        assert device.engine._blocks == {}
+
+    def test_write_into_block_invalidates_it(self):
+        device = self._hot_device()
+        starts = list(device.engine._blocks)
+        before = device.engine.invalidations
+        device.memory.write_word(starts[0], 0x4303, initiator="dma")
+        assert starts[0] not in device.engine._blocks
+        assert device.engine.invalidations > before
+
+    def test_unrelated_write_keeps_blocks(self):
+        device = self._hot_device()
+        count = len(device.engine._blocks)
+        device.memory.write_word(0x0300, 0x1234, initiator="dma")
+        assert len(device.engine._blocks) == count
+
+    def test_device_reset_flushes_blocks(self):
+        device = self._hot_device()
+        device.reset()
+        assert device.engine._blocks == {}
+
+    def test_cpu_registers_object_survives_reset(self):
+        # Compiled closures pre-bind the register list; a reset must
+        # clear it in place, never rebind it.
+        device = self._hot_device()
+        registers = device.cpu.registers
+        device.reset()
+        assert device.cpu.registers is registers
+
+    def test_set_exec_engine_swaps_clean(self):
+        device = self._hot_device()
+        old_engine = device.engine
+        engine = device.set_exec_engine("interp")
+        assert device.engine is engine
+        assert device.exec_engine_name == "interp"
+        assert old_engine._blocks == {}
+        # The old engine's listeners are gone: code writes must not
+        # touch it, and the device keeps running on the interpreter.
+        device.memory.write_word(0xE006, 0x4303, initiator="dma")
+        device.run_batch(50)
+        assert not device.crashed
+        back = device.set_exec_engine("blocks")
+        device.run_batch(200)
+        assert back._blocks, "swapped-in engine compiles from a blank slate"
+
+    def test_engine_stats_shape(self):
+        device = self._hot_device()
+        stats = device.engine.stats()
+        assert stats["engine"] == "blocks"
+        assert stats["compiled"] >= 1
+        assert stats["block_runs"] >= 1
+        interp_stats = silent_device("interp").engine.stats()
+        assert interp_stats == {"engine": "interp"}
+
+    def test_decode_cache_aggregate_stats(self):
+        device = self._hot_device()
+        totals = DecodeCache.aggregate_stats()
+        assert totals["caches"] >= 1
+        assert totals["hits"] >= device.decode_cache.hits >= 1
+        assert 0.0 <= totals["hit_rate"] <= 1.0
