@@ -3,8 +3,13 @@
 Stands up one :class:`~repro.net.service.VerifierService` and drives
 sustained mixed RA/PoX traffic from fleets of simulated provers over
 the in-process loopback transport (plus one TCP row for the
-socket-pair path).  Records aggregate exchanges/sec per fleet size
-into ``BENCH_fleet.json`` alongside the other bench artifacts.
+socket-pair path), then sweeps the sharded cluster control plane
+(1-shard vs 2-shard :class:`~repro.cluster.ClusterFleet`, shards in
+separate processes on the loopback interface).  Records aggregate
+exchanges/sec per row into ``BENCH_fleet.json`` alongside the other
+bench artifacts; every row carries a ``label`` so
+``compare_bench.py --profile fleet`` can gate the scaling trajectory
+against ``BENCH_fleet.baseline.json`` (normalized to ``loopback-1``).
 
 The correctness bar baked into the bench (and the reason the fixed
 verifier is load-bearing): after a 32-device sweep of concurrent
@@ -13,10 +18,15 @@ issued-challenge table is empty -- zero growth, even though the sweep
 included thousands of challenge issuances.
 
 Run with ``pytest benchmarks/test_bench_fleet.py --benchmark-only -s``.
+Set ``REPRO_SOAK=1`` to also run the 1000-device cluster soak (minutes;
+excluded from tier-1 and CI).
 """
 
 from __future__ import annotations
 
+import os
+
+from repro.cluster import ClusterFleet
 from repro.net import Fleet, LinkConditions
 
 #: Fleet sizes swept over the loopback transport.
@@ -25,11 +35,24 @@ FLEET_SIZES = (1, 4, 16, 32)
 #: Exchanges per device per sweep (alternating RA and PoX).
 EXCHANGES_PER_DEVICE = 4
 
+#: Devices driven through the sharded cluster rows (RA-only mix).
+CLUSTER_DEVICES = 32
+
+#: RA exchanges per device for the cluster rows.
+CLUSTER_EXCHANGES_PER_DEVICE = 2
+
 
 def _sweep(size, transport="loopback", conditions=None, deadline=None):
     fleet = Fleet(size, architecture="asap", transport=transport,
                   conditions=conditions, deadline=deadline)
     return fleet.run(exchanges_per_device=EXCHANGES_PER_DEVICE)
+
+
+def _cluster_sweep(size, shards, placement="process",
+                   exchanges_per_device=CLUSTER_EXCHANGES_PER_DEVICE):
+    fleet = ClusterFleet(size, shards=shards, architecture="asap",
+                         placement=placement)
+    return fleet.run(exchanges_per_device=exchanges_per_device, mix=("ra",))
 
 
 def test_fleet_exchanges_per_second(benchmark, table_printer, bench_json):
@@ -50,6 +73,7 @@ def test_fleet_exchanges_per_second(benchmark, table_printer, bench_json):
             "pending after": report.pending_challenges_after,
         })
         payload_rows.append({
+            "label": "loopback-%d" % size,
             "fleet_size": size,
             "transport": "loopback",
             "exchanges": report.exchanges,
@@ -69,6 +93,7 @@ def test_fleet_exchanges_per_second(benchmark, table_printer, bench_json):
         "pending after": tcp_report.pending_challenges_after,
     })
     payload_rows.append({
+        "label": "tcp-8",
         "fleet_size": 8,
         "transport": "tcp",
         "exchanges": tcp_report.exchanges,
@@ -78,6 +103,31 @@ def test_fleet_exchanges_per_second(benchmark, table_printer, bench_json):
         "pending_challenges_after": tcp_report.pending_challenges_after,
     })
     table_printer("Fleet service throughput (mixed RA/PoX)", rows)
+
+    # ---- cluster control plane: 1-shard vs 2-shard scaling rows ------
+    cluster_rows = []
+    cluster_reports = {}
+    for shard_count in (1, 2):
+        report = _cluster_sweep(CLUSTER_DEVICES, shard_count)
+        cluster_reports[shard_count] = report
+        cluster_rows.append({
+            "shards": shard_count,
+            "devices": CLUSTER_DEVICES,
+            "exchanges": report.exchanges,
+            "accepted": report.accepted,
+            "exchanges/sec": "%.0f" % report.exchanges_per_second,
+        })
+        payload_rows.append({
+            "label": "cluster-%d" % shard_count,
+            "fleet_size": CLUSTER_DEVICES,
+            "transport": "process-shards",
+            "shards": shard_count,
+            "exchanges": report.exchanges,
+            "accepted": report.accepted,
+            "timed_out": report.timed_out,
+            "exchanges_per_sec": report.exchanges_per_second,
+        })
+    table_printer("Cluster control plane scaling (RA-only)", cluster_rows)
 
     bench_json("BENCH_fleet.json", {
         "benchmark": "fleet_exchanges_per_second",
@@ -100,6 +150,20 @@ def test_fleet_exchanges_per_second(benchmark, table_printer, bench_json):
     assert big.service_counters["challenges"] == big.exchanges
     # All transports drain the table too.
     assert tcp_report.pending_challenges_after == 0
+
+    # Sharding never costs verdicts, whatever it does for throughput.
+    for shard_count, report in cluster_reports.items():
+        assert report.exchanges == CLUSTER_DEVICES * CLUSTER_EXCHANGES_PER_DEVICE
+        assert report.all_accepted(), (shard_count, report)
+    if (os.cpu_count() or 1) >= 2:
+        # With real parallelism available, the second shard process must
+        # buy throughput: >= 1.5x the single-shard rate at 32 devices.
+        # On a single-core runner the two shard processes timeshare one
+        # CPU, so the ratio is meaningless and only correctness is held.
+        ratio = (cluster_reports[2].exchanges_per_second
+                 / cluster_reports[1].exchanges_per_second)
+        assert ratio >= 1.5, \
+            "2-shard cluster scaled only %.2fx over 1 shard" % ratio
 
 
 def test_fleet_survives_impaired_links(benchmark, table_printer):
@@ -127,3 +191,33 @@ def test_fleet_survives_impaired_links(benchmark, table_printer):
     # Only challenges stranded by in-flight loss may remain, and each is
     # bounded by the per-device cap until the TTL clears it.
     assert report.pending_challenges_after <= report.timed_out
+
+
+def test_cluster_soak_1k_devices(benchmark, table_printer):
+    """1000 devices, 4 inline shards, one RA exchange each.
+
+    A minutes-long memory/correctness soak of the control plane, not a
+    throughput number: excluded from tier-1 and CI, run on demand with
+    ``REPRO_SOAK=1 pytest benchmarks/test_bench_fleet.py -k soak -s``.
+    """
+    import pytest
+
+    if not os.environ.get("REPRO_SOAK"):
+        pytest.skip("set REPRO_SOAK=1 to run the 1000-device soak")
+
+    def soak():
+        fleet = ClusterFleet(1000, shards=4, architecture="asap",
+                             placement="inline")
+        return fleet.run(exchanges_per_device=1, mix=("ra",))
+
+    report = benchmark.pedantic(soak, rounds=1)
+    table_printer("Cluster soak (1000 devices, 4 shards)", [{
+        "exchanges": report.exchanges,
+        "accepted": report.accepted,
+        "exchanges/sec": "%.0f" % report.exchanges_per_second,
+        "shards": report.shard_count,
+    }])
+    assert report.exchanges == 1000
+    assert report.all_accepted()
+    # Every shard's challenge table drained.
+    assert all(stats.pending_challenges == 0 for stats in report.shards)

@@ -98,7 +98,18 @@ _NET_EXPORTS = frozenset({
     "FleetReport",
     "LinkConditions",
     "ProverEndpoint",
+    "RetryPolicy",
     "VerifierService",
+})
+
+# The cluster control plane (repro.cluster) is likewise lazy, for the
+# same reason -- and it imports repro.net itself.
+_CLUSTER_EXPORTS = frozenset({
+    "ClusterFleet",
+    "ClusterReport",
+    "HashRing",
+    "ShardedVerifierCluster",
+    "WorkerRegistry",
 })
 
 
@@ -107,6 +118,10 @@ def __getattr__(name):
         from repro import net
 
         return getattr(net, name)
+    if name in _CLUSTER_EXPORTS:
+        from repro import cluster
+
+        return getattr(cluster, name)
     raise AttributeError("module %r has no attribute %r" % (__name__, name))
 
 __version__ = "1.0.0"
@@ -181,6 +196,12 @@ __all__ = [
     "FleetReport",
     "LinkConditions",
     "ProverEndpoint",
+    "RetryPolicy",
     "VerifierService",
+    "ClusterFleet",
+    "ClusterReport",
+    "HashRing",
+    "ShardedVerifierCluster",
+    "WorkerRegistry",
     "__version__",
 ]

@@ -1,0 +1,54 @@
+"""Fleet control plane: sharding, membership, retries, backpressure.
+
+The :mod:`repro.net` data plane proved one asyncio verifier can
+multiplex a fleet of provers; this package is the layer that makes a
+*deployment* out of it:
+
+* :class:`~repro.cluster.registry.WorkerRegistry` -- join/leave
+  membership with heartbeats and dead-peer eviction, shared by the
+  remote campaign dispatcher and the verifier cluster;
+* :class:`~repro.cluster.hashring.HashRing` +
+  :class:`~repro.cluster.shards.ShardedVerifierCluster` -- N
+  independent verifier services behind consistent hashing on device
+  id, with enrollment shipping, rebalance and heartbeat eviction;
+* :class:`~repro.net.rpc.RetryPolicy` (re-exported) -- bounded
+  retransmission inside per-exchange deadlines, so impaired links
+  degrade throughput instead of burning whole exchanges;
+* :class:`~repro.cluster.metrics.ClusterReport` +
+  :class:`~repro.cluster.metrics.BackpressureGate` -- aggregate fleet
+  metrics (verdict mix, challenge-table occupancy, retry/eviction
+  counters, p50/p99 latency) and admission control when provers outrun
+  verifiers.
+
+:class:`~repro.cluster.fleet.ClusterFleet` ties it together:
+``ClusterFleet(32, shards=2).run()`` drives the same simulated fleet
+as :class:`~repro.net.fleet.Fleet`, routed and supervised.
+"""
+
+from repro.cluster.fleet import ClusterFleet
+from repro.cluster.hashring import HashRing
+from repro.cluster.metrics import (
+    BackpressureGate,
+    ClusterReport,
+    LatencyRecorder,
+    ShardStats,
+)
+from repro.cluster.registry import WorkerRecord, WorkerRegistry
+from repro.cluster.shards import ShardedVerifierCluster, VerifierShard
+from repro.net.rpc import RetryPolicy, RpcChannel, RpcTimeout
+
+__all__ = [
+    "BackpressureGate",
+    "ClusterFleet",
+    "ClusterReport",
+    "HashRing",
+    "LatencyRecorder",
+    "RetryPolicy",
+    "RpcChannel",
+    "RpcTimeout",
+    "ShardStats",
+    "ShardedVerifierCluster",
+    "VerifierShard",
+    "WorkerRecord",
+    "WorkerRegistry",
+]

@@ -1,0 +1,95 @@
+"""Consistent-hash ring: device ids -> verifier shards.
+
+Plain consistent hashing with virtual nodes: each shard owns
+``replicas`` points on a 2**64 ring (SHA-256 of ``"node:replica"``),
+and a key belongs to the first point clockwise from its own hash.
+Adding or removing one shard therefore moves only ~1/N of the keys --
+the property the cluster's rebalance path relies on: a shard join or
+eviction re-enrolls the displaced devices, not the whole fleet.
+
+Deterministic by construction (no process randomness), so the same
+membership always yields the same placement on every host.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Optional
+
+#: Virtual nodes per shard; enough to keep placement within a few
+#: percent of uniform at single-digit shard counts.
+DEFAULT_REPLICAS = 64
+
+
+def _point(value: str) -> int:
+    digest = hashlib.sha256(value.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash membership with virtual nodes."""
+
+    def __init__(self, nodes=(), replicas: int = DEFAULT_REPLICAS):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1, got %r" % (replicas,))
+        self.replicas = replicas
+        self._points: List[int] = []
+        self._owners: Dict[int, str] = {}
+        self._nodes: List[str] = []
+        for node in nodes:
+            self.add(node)
+
+    # ------------------------------------------------------------ membership
+
+    def add(self, node: str):
+        """Add *node*'s virtual points to the ring."""
+        if node in self._nodes:
+            raise ValueError("node %r is already on the ring" % (node,))
+        self._nodes.append(node)
+        for replica in range(self.replicas):
+            point = _point("%s:%d" % (node, replica))
+            # Point collisions across 64-bit hashes are vanishingly
+            # rare; first owner keeps the point so placement stays
+            # stable under later membership changes.
+            if point in self._owners:
+                continue
+            bisect.insort(self._points, point)
+            self._owners[point] = node
+
+    def remove(self, node: str):
+        """Remove *node* from the ring; its keys fall to the survivors."""
+        if node not in self._nodes:
+            raise KeyError(node)
+        self._nodes.remove(node)
+        for point, owner in list(self._owners.items()):
+            if owner == node:
+                del self._owners[point]
+                index = bisect.bisect_left(self._points, point)
+                del self._points[index]
+
+    # ------------------------------------------------------------ lookup
+
+    def lookup(self, key: str) -> Optional[str]:
+        """The node owning *key*, or ``None`` on an empty ring."""
+        if not self._points:
+            return None
+        index = bisect.bisect_right(self._points, _point(key))
+        if index == len(self._points):
+            index = 0
+        return self._owners[self._points[index]]
+
+    @property
+    def nodes(self) -> List[str]:
+        """Members in insertion order."""
+        return list(self._nodes)
+
+    def __len__(self):
+        return len(self._nodes)
+
+    def __contains__(self, node):
+        return node in self._nodes
+
+    def placement(self, keys) -> Dict[str, str]:
+        """Map each key to its owning node (convenience for rebalance)."""
+        return {key: self.lookup(key) for key in keys}

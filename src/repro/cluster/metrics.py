@@ -1,0 +1,166 @@
+"""Aggregate fleet metrics and the backpressure gate.
+
+The cluster's observability surface: per-shard exchange counts and
+verdict mix, challenge-table occupancy, retry/eviction counters and
+p50/p99 exchange latency, folded into one :class:`ClusterReport` --
+the sharded counterpart of :class:`~repro.net.fleet.FleetReport`.
+
+:class:`BackpressureGate` is the admission control half: when provers
+outrun a shard's verifier, new exchanges either wait their turn
+(``"delay"``) or are refused outright (``"shed"``), and either way the
+pressure is *visible* in the report instead of silently stretching
+latencies until deadlines start failing exchanges at random.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Admission-control behaviours when a shard is at max_inflight.
+BACKPRESSURE_MODES = ("delay", "shed")
+
+
+class LatencyRecorder:
+    """Collects latency samples; answers percentile queries.
+
+    Bounded: keeps the most recent ``limit`` samples, so soak runs get
+    rolling percentiles instead of unbounded memory growth.
+    """
+
+    def __init__(self, limit: int = 4096):
+        if limit < 1:
+            raise ValueError("limit must be >= 1, got %r" % (limit,))
+        self.limit = limit
+        self._samples: List[float] = []
+        self.count = 0
+
+    def record(self, seconds: float):
+        self.count += 1
+        self._samples.append(seconds)
+        if len(self._samples) > self.limit:
+            del self._samples[: len(self._samples) - self.limit]
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile over the retained window (0 if empty)."""
+        if not self._samples:
+            return 0.0
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1], got %r" % (fraction,))
+        ordered = sorted(self._samples)
+        index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+        return ordered[index]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
+
+@dataclass
+class ShardStats:
+    """One shard's slice of a cluster run."""
+
+    shard: str
+    exchanges: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    timed_out: int = 0
+    shed: int = 0
+    #: Challenge-table occupancy when the stats were taken.
+    pending_challenges: int = 0
+    #: The shard service's own counters (challenges, verdicts, dedup...).
+    service_counters: Dict[str, int] = field(default_factory=dict)
+    p50_seconds: float = 0.0
+    p99_seconds: float = 0.0
+    #: False once the shard was evicted or killed.
+    alive: bool = True
+
+
+@dataclass
+class ClusterReport:
+    """Aggregate outcome of one sharded fleet run."""
+
+    fleet_size: int
+    shard_count: int
+    exchanges: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    timed_out: int = 0
+    #: Exchanges refused by the backpressure gate (mode "shed").
+    shed: int = 0
+    #: Exchanges that waited at the gate (mode "delay").
+    delayed: int = 0
+    retransmits: int = 0
+    evictions: int = 0
+    #: Devices re-enrolled because ring ownership moved.
+    rebalanced_devices: int = 0
+    elapsed_seconds: float = 0.0
+    per_kind: Dict[str, int] = field(default_factory=dict)
+    shards: List[ShardStats] = field(default_factory=list)
+
+    @property
+    def exchanges_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return float("inf")
+        return self.exchanges / self.elapsed_seconds
+
+    def all_accepted(self) -> bool:
+        """Every admitted exchange completed and was accepted."""
+        return self.exchanges > 0 and self.accepted == self.exchanges
+
+    def shard(self, name: str) -> Optional[ShardStats]:
+        for stats in self.shards:
+            if stats.shard == name:
+                return stats
+        return None
+
+
+class BackpressureGate:
+    """Bounds exchanges in flight against one shard.
+
+    ``max_inflight=None`` admits everything (the gate still counts
+    nothing, costs nothing).  Otherwise ``acquire`` either waits for a
+    slot (``"delay"``, counting the waits) or returns ``False``
+    immediately when the shard is saturated (``"shed"``, counting the
+    refusals); callers must ``release`` after an admitted exchange.
+    """
+
+    def __init__(self, max_inflight: Optional[int] = None,
+                 mode: str = "delay"):
+        if mode not in BACKPRESSURE_MODES:
+            raise ValueError("mode must be one of %s, got %r"
+                             % (", ".join(BACKPRESSURE_MODES), mode))
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1 or None, got %r"
+                             % (max_inflight,))
+        self.max_inflight = max_inflight
+        self.mode = mode
+        self.delayed = 0
+        self.shed = 0
+        self.inflight = 0
+        self._semaphore = (asyncio.Semaphore(max_inflight)
+                          if max_inflight is not None else None)
+
+    async def acquire(self) -> bool:
+        """Admit one exchange; ``False`` means it was shed."""
+        if self._semaphore is None:
+            self.inflight += 1
+            return True
+        if self._semaphore.locked():
+            if self.mode == "shed":
+                self.shed += 1
+                return False
+            self.delayed += 1
+        await self._semaphore.acquire()
+        self.inflight += 1
+        return True
+
+    def release(self):
+        self.inflight -= 1
+        if self._semaphore is not None:
+            self._semaphore.release()

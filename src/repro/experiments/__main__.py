@@ -15,6 +15,7 @@ experiment exits 1.
 from __future__ import annotations
 
 import argparse
+import functools
 import os
 import sys
 
@@ -65,6 +66,18 @@ def build_parser() -> argparse.ArgumentParser:
              % ENGINE_ENV_VAR,
     )
     parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="verifier shard count for the FLEET experiment's cluster "
+             "row (default: 2)",
+    )
+    parser.add_argument(
+        "--heartbeat", type=float, default=None, metavar="SECONDS",
+        help="liveness heartbeat interval: remote-backend campaign "
+             "workers emit heartbeat frames (silent workers are evicted "
+             "and their work requeued), and the FLEET experiment's "
+             "cluster runs its shard monitor (default: off)",
+    )
+    parser.add_argument(
         "--json", dest="json_path", metavar="PATH", default=None,
         help="also write the structured results to PATH as JSON",
     )
@@ -104,9 +117,26 @@ def main(argv=None):
     if args.warm_pool and args.backend != "process":
         print("--warm-pool requires --backend process", file=sys.stderr)
         return 2
+    if args.shards is not None and args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.heartbeat is not None and args.heartbeat <= 0:
+        print("--heartbeat must be > 0", file=sys.stderr)
+        return 2
 
+    # Worker heartbeats belong to the remote backend's dispatcher; for
+    # every other backend the flag still reaches the FLEET cluster row.
+    campaign_heartbeat = args.heartbeat if args.backend == "remote" else None
     campaign = CampaignRunner(backend=args.backend, jobs=args.jobs,
-                              warm=args.warm_pool, engine=args.engine)
+                              warm=args.warm_pool, engine=args.engine,
+                              heartbeat=campaign_heartbeat)
+    overrides = None
+    if args.shards is not None or args.heartbeat is not None:
+        overrides = {"FLEET": functools.partial(
+            runners.run_fleet_control,
+            shards=args.shards if args.shards is not None else 2,
+            heartbeat=args.heartbeat,
+        )}
     # The campaign override only reaches pox-kind specs; exporting the
     # selection process-wide covers attack/ltl/job bodies (and is
     # inherited by pool workers).  Restored afterwards so main() stays
@@ -115,7 +145,8 @@ def main(argv=None):
     if args.engine is not None:
         os.environ[ENGINE_ENV_VAR] = args.engine
     try:
-        results = runners.run_all_experiments(skip=skip, campaign=campaign)
+        results = runners.run_all_experiments(skip=skip, campaign=campaign,
+                                              overrides=overrides)
     finally:
         if args.engine is not None:
             if previous_engine is None:

@@ -367,6 +367,76 @@ def run_security_scenarios(campaign: Optional[CampaignRunner] = None) -> Experim
 
 
 # --------------------------------------------------------------------------
+# FLEET: cluster control plane (sharded verifiers over the net layer)
+# --------------------------------------------------------------------------
+
+def run_fleet_control(campaign: Optional[CampaignRunner] = None,
+                      shards: int = 2,
+                      heartbeat: Optional[float] = None,
+                      size: int = 6,
+                      exchanges_per_device: int = 2) -> ExperimentResult:
+    """Deployment-story experiment: one verifier vs. a sharded cluster.
+
+    Not a scenario campaign (*campaign* is accepted for registry-shape
+    uniformity and ignored): the fleet harnesses drive the service
+    stack directly.  One row for the single shared
+    :class:`~repro.net.fleet.Fleet` service, one for a
+    :class:`~repro.cluster.fleet.ClusterFleet` across *shards* verifier
+    shards -- same devices, same attestation-only mix -- so the table
+    shows the control plane costs nothing in verdicts while spreading
+    the challenge tables.  ``--shards`` / ``--heartbeat`` on the CLI
+    land here; with a heartbeat the cluster also runs its liveness
+    monitor for the duration.
+    """
+    del campaign  # direct harness run; see docstring
+
+    def body():
+        from repro.cluster import ClusterFleet
+        from repro.net import Fleet
+
+        # Rows carry only deterministic counters: the serial-vs-process
+        # differential pins row identity across backends, so throughput
+        # numbers live in benchmarks/test_bench_fleet.py instead.
+        rows = []
+        notes = []
+        single = Fleet(size=size, architecture="asap").run(
+            exchanges_per_device=exchanges_per_device, mix=("ra",))
+        rows.append({
+            "topology": "single-service",
+            "devices": single.fleet_size,
+            "shards": 1,
+            "exchanges": single.exchanges,
+            "accepted": single.accepted,
+            "evictions": 0,
+        })
+        cluster = ClusterFleet(size=size, shards=shards,
+                               architecture="asap",
+                               heartbeat=heartbeat).run(
+            exchanges_per_device=exchanges_per_device, mix=("ra",))
+        rows.append({
+            "topology": "cluster",
+            "devices": cluster.fleet_size,
+            "shards": cluster.shard_count,
+            "exchanges": cluster.exchanges,
+            "accepted": cluster.accepted,
+            "evictions": cluster.evictions,
+        })
+        succeeded = single.all_accepted() and cluster.all_accepted()
+        if not single.all_accepted():
+            notes.append("single-service fleet: %d/%d accepted"
+                         % (single.accepted, single.exchanges))
+        if not cluster.all_accepted():
+            notes.append("sharded cluster: %d/%d accepted"
+                         % (cluster.accepted, cluster.exchanges))
+        return ExperimentResult(
+            "FLEET", "Cluster control plane (sharded verifier fleet)",
+            rows, notes=notes, succeeded=succeeded,
+        )
+
+    return _timed(body)
+
+
+# --------------------------------------------------------------------------
 # All together
 # --------------------------------------------------------------------------
 
@@ -380,18 +450,23 @@ EXPERIMENT_RUNNERS: "OrderedDict[str, Callable[[Optional[CampaignRunner]], Exper
     ("E7", run_runtime_overhead),
     ("E8", run_busywait_ablation),
     ("E9", run_security_scenarios),
+    ("FLEET", run_fleet_control),
 ])
 
 
 def run_all_experiments(skip: Optional[List[str]] = None,
                         campaign: Optional[CampaignRunner] = None,
                         jobs: Optional[int] = None,
-                        backend: Optional[str] = None) -> List[ExperimentResult]:
+                        backend: Optional[str] = None,
+                        overrides: Optional[Dict[str, Callable]] = None,
+                        ) -> List[ExperimentResult]:
     """Run every experiment (optionally skipping some ids); return results.
 
     Pass either a ready :class:`CampaignRunner` via *campaign* or the
     *backend*/*jobs* pair to build one; by default everything runs
-    serially in-process.
+    serially in-process.  *overrides* substitutes runners per id for
+    this call only (the CLI uses it to bind ``--shards``/``--heartbeat``
+    into the FLEET runner without mutating the registry).
     """
     skip = set(skip or [])
     if campaign is None:
@@ -400,6 +475,8 @@ def run_all_experiments(skip: Optional[List[str]] = None,
     for experiment_id, runner in EXPERIMENT_RUNNERS.items():
         if experiment_id in skip:
             continue
+        if overrides and experiment_id in overrides:
+            runner = overrides[experiment_id]
         results.append(runner(campaign))
     return results
 

@@ -25,26 +25,33 @@ from repro.net.transport import (
     read_frame,
     write_frame,
 )
-from repro.net.service import VerifierService
+from repro.net.rpc import RetryPolicy, RpcChannel, RpcTimeout
+from repro.net.service import DeviceEnrollment, VerifierService, provision_enrollment
 from repro.net.prover import ExchangeResult, ProverEndpoint
-from repro.net.fleet import Fleet, FleetReport
+from repro.net.fleet import Fleet, FleetReport, build_prover_bench
 from repro.net.remote import run_remote_campaign, worker_loop
 
 __all__ = [
     "ClosedTransportError",
+    "DeviceEnrollment",
     "ExchangeResult",
     "allow_frame_type",
+    "build_prover_bench",
     "Fleet",
     "FleetReport",
     "LinkConditions",
     "LoopbackTransport",
     "MessageTransport",
     "ProverEndpoint",
+    "RetryPolicy",
+    "RpcChannel",
+    "RpcTimeout",
     "StreamTransport",
     "VerifierService",
     "loopback_pair",
     "open_tcp_listener",
     "open_tcp_transport",
+    "provision_enrollment",
     "read_frame",
     "run_remote_campaign",
     "worker_loop",

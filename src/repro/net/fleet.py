@@ -25,6 +25,7 @@ from typing import Dict, List, Optional
 from repro.firmware.blinker import blinker_firmware
 from repro.firmware.testbench import PoxTestbench, TestbenchConfig
 from repro.net.prover import ExchangeResult, ProverEndpoint
+from repro.net.rpc import RetryPolicy
 from repro.net.service import VerifierService
 from repro.net.transport import (
     LinkConditions,
@@ -39,6 +40,21 @@ TRANSPORTS = ("loopback", "tcp")
 DEFAULT_MIX = ("ra", "pox")
 
 
+def build_prover_bench(firmware, architecture, device_id,
+                       exec_engine=None, pox_verifier=None) -> PoxTestbench:
+    """One fleet device: a full testbench provisioned for *architecture*.
+
+    With ``pox_verifier`` the deployment registers into that shared
+    verifier (the single-service :class:`Fleet` path); without it the
+    bench provisions a private local verifier, which the cluster layer
+    then mines for a shippable
+    :class:`~repro.net.service.DeviceEnrollment`.
+    """
+    config = TestbenchConfig(architecture=architecture, device_id=device_id,
+                             exec_engine=exec_engine)
+    return PoxTestbench(firmware, config, pox_verifier=pox_verifier)
+
+
 @dataclass
 class FleetReport:
     """Aggregate outcome of one fleet traffic run."""
@@ -48,6 +64,8 @@ class FleetReport:
     accepted: int = 0
     rejected: int = 0
     timed_out: int = 0
+    #: Requests retransmitted by the retry layer across all provers.
+    retransmits: int = 0
     elapsed_seconds: float = 0.0
     #: Exchange counts per kind ("ra", "apex", "asap").
     per_kind: Dict[str, int] = field(default_factory=dict)
@@ -75,6 +93,7 @@ class Fleet:
                  firmware=None, transport: str = "loopback",
                  conditions: Optional[LinkConditions] = None,
                  deadline: Optional[float] = None,
+                 retry: Optional[RetryPolicy] = None,
                  service: Optional[VerifierService] = None,
                  exec_engine: Optional[str] = None):
         if size < 1:
@@ -83,20 +102,25 @@ class Fleet:
             raise ValueError("transport must be one of %s, got %r"
                              % (", ".join(TRANSPORTS), transport))
         if (conditions is not None and (conditions.loss or conditions.reorder)
-                and deadline is None):
+                and deadline is None
+                and (retry is None or not retry.bounded)):
             # A dropped (or indefinitely held) message would leave that
-            # prover awaiting a reply forever; there is no retry layer,
-            # so the per-exchange deadline is what turns loss into a
-            # clean timeout instead of a hang.
+            # prover awaiting a reply forever.  Either bound: a
+            # per-exchange deadline turns loss into a clean timeout, a
+            # bounded retry schedule exhausts into one -- but with
+            # neither (or an unlimited retry schedule and no deadline)
+            # a run could hang, so refuse the configuration up front.
             raise ValueError(
                 "lossy/reordering link conditions require a per-exchange "
-                "deadline (got conditions=%r with deadline=None)" % (conditions,))
+                "deadline or a bounded retry policy (got conditions=%r "
+                "with deadline=None, retry=%r)" % (conditions, retry))
         self.size = size
         self.architecture = architecture
         self.firmware = firmware
         self.transport = transport
         self.conditions = conditions
         self.deadline = deadline
+        self.retry = retry
         self.service = service or VerifierService()
         #: Execution engine for every prover device (``None`` defers to
         #: the process-wide selection; see :mod:`repro.cpu.engine`).
@@ -116,10 +140,10 @@ class Fleet:
                   else self.service.apex)
         verifier = self.service.verifier
         for index in range(self.size):
-            config = TestbenchConfig(architecture=self.architecture,
-                                     device_id="prover-%04d" % index,
-                                     exec_engine=self.exec_engine)
-            bench = PoxTestbench(firmware, config, pox_verifier=shared)
+            bench = build_prover_bench(
+                firmware, self.architecture, "prover-%04d" % index,
+                exec_engine=self.exec_engine, pox_verifier=shared)
+            config = bench.config
             device = bench.device
             # Plain RA attests program memory; the verifier learned the
             # deployed image at provisioning time (snapshot after flash).
@@ -152,7 +176,7 @@ class Fleet:
             self._serve_tasks.append((task, server_side))
         return ProverEndpoint(
             bench.config.device_id, bench.device, bench.protocol.device_key,
-            client, protocol=bench.protocol,
+            client, protocol=bench.protocol, retry=self.retry,
         )
 
     # ------------------------------------------------------------ traffic
@@ -184,6 +208,7 @@ class Fleet:
                 for prover in provers
             ])
             elapsed = time.perf_counter() - started
+            retransmits = sum(prover.retransmits for prover in provers)
         finally:
             for prover in provers:
                 await prover.close()
@@ -199,7 +224,8 @@ class Fleet:
                 self._server.close()
                 await self._server.wait_closed()
 
-        report = FleetReport(fleet_size=self.size, elapsed_seconds=elapsed)
+        report = FleetReport(fleet_size=self.size, elapsed_seconds=elapsed,
+                             retransmits=retransmits)
         for result in (result for per_prover in outcomes for result in per_prover):
             report.results.append(result)
             report.exchanges += 1

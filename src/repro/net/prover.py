@@ -17,16 +17,22 @@ round trip runs under ``asyncio.wait_for``, and a timeout yields an
 :class:`ExchangeResult` with ``timed_out=True`` instead of an
 exception -- on a lossy or slow link that is an expected outcome, and
 the verifier's TTL'd challenge table absorbs the abandoned challenge.
+
+Exchanges can additionally carry a :class:`~repro.net.rpc.RetryPolicy`:
+each request is then retransmitted with exponentially growing reply
+windows *inside* the deadline, so one dropped frame costs one attempt
+timeout instead of the whole exchange.  The service deduplicates
+retransmits by ``seq``, so retried requests are executed at most once.
 """
 
 from __future__ import annotations
 
 import asyncio
-import itertools
 import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from repro.net.rpc import RetryPolicy, RpcChannel
 from repro.net.transport import MessageTransport
 from repro.vrased.protocol import AttestationRequest
 from repro.vrased.swatt import SwAtt
@@ -52,12 +58,13 @@ class ProverEndpoint:
     def __init__(self, device_id, device, device_key,
                  transport: MessageTransport,
                  attested_regions: Optional[Sequence] = None,
-                 protocol=None):
+                 protocol=None, retry: Optional[RetryPolicy] = None):
         """``attested_regions`` are what plain RA measures (default: the
         device's program memory); ``protocol`` is the device's
         :class:`~repro.apex.pox.PoxProtocol` (or the ASAP subclass) for
         PoX exchanges -- only its prover-side half is used, the
-        verifier side lives behind the transport.
+        verifier side lives behind the transport.  ``retry`` enables
+        bounded retransmission of every request on this endpoint.
         """
         self.device_id = device_id
         self.device = device
@@ -69,29 +76,19 @@ class ProverEndpoint:
             else [device.layout.program]
         )
         self.protocol = protocol
-        self._seq = itertools.count()
-        self._rpc_lock = asyncio.Lock()
+        #: One round trip at a time per endpoint (a device attests
+        #: serially; fleet concurrency lives across endpoints).
+        self.rpc = RpcChannel(transport, retry=retry)
 
     # ------------------------------------------------------------ rpc
 
-    async def _rpc(self, message) -> dict:
-        """Send *message* and await the reply bearing its ``seq``.
+    @property
+    def retransmits(self) -> int:
+        """Requests this endpoint has retransmitted so far."""
+        return self.rpc.retransmits
 
-        One round trip at a time per endpoint (a device attests
-        serially; fleet concurrency lives across endpoints): without
-        the lock, two concurrent exchanges would each consume -- and
-        drop -- the other's reply and both would hang.  Replies with
-        other sequence numbers (stragglers from a previous, timed-out
-        exchange on this transport) are dropped.
-        """
-        async with self._rpc_lock:
-            seq = next(self._seq)
-            message = dict(message, seq=seq)
-            await self.transport.send(message)
-            while True:
-                reply = await self.transport.recv()
-                if reply.get("seq") == seq:
-                    return reply
+    async def _rpc(self, message) -> dict:
+        return await self.rpc.call(message)
 
     # ------------------------------------------------------------ exchanges
 
@@ -123,9 +120,14 @@ class ProverEndpoint:
                 result = await asyncio.wait_for(flow, timeout=deadline)
             else:
                 result = await flow
-        except asyncio.TimeoutError:
-            result = ExchangeResult(kind=kind, timed_out=True,
-                                    reason="deadline of %.3fs exceeded" % deadline)
+        except asyncio.TimeoutError as error:
+            # Either the outer deadline fired, or (with no deadline set)
+            # a bounded retry schedule was exhausted and RpcTimeout --
+            # an asyncio.TimeoutError subclass -- surfaced here.
+            reason = ("deadline of %.3fs exceeded" % deadline
+                      if deadline is not None
+                      else (str(error) or "retry attempts exhausted"))
+            result = ExchangeResult(kind=kind, timed_out=True, reason=reason)
         else:
             result.kind = kind
         result.elapsed_seconds = time.perf_counter() - started

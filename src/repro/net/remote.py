@@ -24,12 +24,20 @@ Worker protocol (all messages are pickled dicts):
 * dispatcher -> ``{"kind": "scenario", "index": i, "spec": spec}`` or
   ``{"kind": "shutdown"}``,
 * worker -> ``{"kind": "result", "index": i, "result": ScenarioResult}``,
-  after which the dispatcher assigns the next spec (or shutdown).
+  after which the dispatcher assigns the next spec (or shutdown),
+* worker -> ``{"kind": "heartbeat", "worker": name}`` from a side
+  thread every ``heartbeat`` seconds, feeding the dispatcher's
+  :class:`~repro.cluster.registry.WorkerRegistry` so a hung or
+  partitioned worker is *evicted* -- its socket closed, its assignment
+  requeued -- after ``heartbeat_timeout`` of silence, instead of
+  stalling the campaign until a socket error happens to surface.
 
 A worker that dies mid-scenario has its assignment requeued for the
 surviving workers; if every worker is gone, the dispatcher finishes
 the remaining specs inline -- so lost workers degrade throughput,
-never completeness.
+never completeness.  Workers may also start *before* the dispatcher:
+:func:`worker_loop` retries refused connections with capped
+exponential backoff.
 """
 
 from __future__ import annotations
@@ -38,9 +46,11 @@ import asyncio
 import os
 import socket
 import threading
+import time
 from collections import deque
 from typing import List, Optional, Sequence
 
+from repro.net.rpc import backoff_delays
 from repro.net.transport import (
     ClosedTransportError,
     open_tcp_listener,
@@ -50,37 +60,95 @@ from repro.net.transport import (
 from repro.sim.runner import ScenarioResult, run_scenario
 from repro.sim.scenario import ScenarioSpec
 
+#: How often the registry-driven eviction sweep runs, as a fraction of
+#: the heartbeat timeout.
+_EVICT_SWEEP_FRACTION = 0.25
 
-def worker_loop(host, port, name="worker"):
+
+def _connect_with_backoff(host, port, attempts=8, base_delay=0.05):
+    """Dial ``host:port``, retrying transient failures with capped
+    exponential backoff -- a worker started moments before its
+    dispatcher must wait for the listener, not die on the first
+    ``ConnectionRefusedError``.  The last attempt's error propagates."""
+    delays = list(backoff_delays(max(attempts - 1, 0), base=base_delay))
+    for attempt in range(max(attempts, 1)):
+        try:
+            return socket.create_connection((host, port))
+        except OSError:
+            if attempt >= len(delays):
+                raise
+            time.sleep(delays[attempt])
+
+
+def worker_loop(host, port, name="worker", heartbeat=None,
+                connect_attempts=8, connect_backoff=0.05):
     """Serve scenarios from the dispatcher at ``host:port`` until told
     to shut down.  Blocking-socket client; runs anywhere the package is
-    importable -- no asyncio, no shared state with the dispatcher."""
-    sock = socket.create_connection((host, port))
+    importable -- no asyncio, no shared state with the dispatcher.
+
+    With ``heartbeat`` set, a daemon thread writes a heartbeat frame
+    every that-many seconds (a write lock keeps frames from
+    interleaving with results mid-frame), so the dispatcher's registry
+    can tell "slow scenario" from "dead worker".
+    """
+    sock = _connect_with_backoff(host, port, attempts=connect_attempts,
+                                 base_delay=connect_backoff)
+    write_lock = threading.Lock()
+    stop_beating = threading.Event()
+
+    def _beat():
+        while not stop_beating.wait(heartbeat):
+            try:
+                with write_lock:
+                    write_frame(sock, {"kind": "heartbeat", "worker": name})
+            except OSError:
+                return
+
+    beater = None
+    if heartbeat:
+        beater = threading.Thread(target=_beat, name="%s-heartbeat" % name,
+                                  daemon=True)
+        beater.start()
     try:
-        write_frame(sock, {"kind": "ready", "worker": name})
+        with write_lock:
+            write_frame(sock, {"kind": "ready", "worker": name})
         while True:
             message = read_frame(sock)
             if message.get("kind") != "scenario":
                 break
             result = run_scenario(message["spec"])
-            write_frame(sock, {
-                "kind": "result", "index": message["index"], "result": result,
-            })
+            with write_lock:
+                write_frame(sock, {
+                    "kind": "result", "index": message["index"],
+                    "result": result,
+                })
     except ClosedTransportError:
         pass
     finally:
+        stop_beating.set()
         sock.close()
+        if beater is not None:
+            beater.join(timeout=1.0)
 
 
 class _Dispatcher:
     """Order-preserving work queue served over one TCP listener."""
 
-    def __init__(self, specs: List[ScenarioSpec]):
+    def __init__(self, specs: List[ScenarioSpec], registry=None):
         self.specs = specs
         self.results: List[Optional[ScenarioResult]] = [None] * len(specs)
         self.queue = deque(range(len(specs)))
         self.remaining = len(specs)
         self.connections = 0
+        #: Assignments returned to the queue by lost/evicted workers.
+        self.requeues = 0
+        #: Optional WorkerRegistry tracking join/beat/evict per worker.
+        self.registry = registry
+        #: Live worker transports by name, so eviction can close the
+        #: socket -- which lands the connection handler in its normal
+        #: lost-worker path (requeue + connection-count bookkeeping)
+        #: instead of inventing a second, racy requeue path here.
+        self.transports = {}
         self.done = asyncio.Event()
         if not specs:
             self.done.set()
@@ -95,14 +163,28 @@ class _Dispatcher:
         """Serve one worker connection."""
         self.connections += 1
         assigned = None
+        worker_name = None
         try:
             while True:
                 message = await transport.recv()
                 kind = message.get("kind")
+                if kind == "heartbeat":
+                    if self.registry is not None:
+                        self.registry.beat(message.get("worker", ""))
+                    continue
                 if kind == "result":
                     self._record(message["index"], message["result"])
                     assigned = None
-                elif kind != "ready":
+                    # A result is a sign of life whether or not the
+                    # worker's heartbeat thread is keeping up.
+                    if self.registry is not None and worker_name is not None:
+                        self.registry.beat(worker_name)
+                elif kind == "ready":
+                    worker_name = message.get("worker", "")
+                    self.transports[worker_name] = transport
+                    if self.registry is not None:
+                        self.registry.join(worker_name)
+                else:
                     continue
                 if not self.queue:
                     await transport.send({"kind": "shutdown"})
@@ -121,7 +203,12 @@ class _Dispatcher:
             # (or the inline drain below, which never pickles at all).
             if assigned is not None:
                 self.queue.appendleft(assigned)
+                self.requeues += 1
         finally:
+            if worker_name is not None:
+                self.transports.pop(worker_name, None)
+                if self.registry is not None and worker_name in self.registry:
+                    self.registry.leave(worker_name)
             self.connections -= 1
             if self.connections == 0 and self.queue:
                 # No workers left but work remains (every connection
@@ -132,24 +219,67 @@ class _Dispatcher:
                     index = self.queue.popleft()
                     self._record(index, run_scenario(self.specs[index]))
 
+    async def evict_dead(self):
+        """Close the sockets of workers past the heartbeat timeout.
+
+        The close is the whole eviction: the connection handler wakes
+        with a transport error and runs its existing requeue path, so
+        a dead worker's assignment is returned exactly once.
+        """
+        for name in (self.registry.dead() if self.registry is not None else ()):
+            self.registry.evict(name)
+            transport = self.transports.pop(name, None)
+            if transport is not None:
+                await transport.close()
+
 
 async def _dispatch(specs: List[ScenarioSpec], jobs: int,
+                    heartbeat: Optional[float] = None,
+                    heartbeat_timeout: Optional[float] = None,
+                    dispatcher: Optional[_Dispatcher] = None,
                     ) -> List[ScenarioResult]:
-    dispatcher = _Dispatcher(specs)
+    registry = None
+    if heartbeat is not None:
+        # Lazy, and upward: the registry is stdlib-only bookkeeping
+        # from the cluster control plane; nothing from repro.cluster's
+        # service stack is imported here.
+        from repro.cluster.registry import WorkerRegistry
+
+        if heartbeat_timeout is None:
+            heartbeat_timeout = 3 * heartbeat
+        registry = WorkerRegistry(heartbeat_timeout=heartbeat_timeout)
+    if dispatcher is None:
+        dispatcher = _Dispatcher(specs, registry=registry)
+    elif registry is not None and dispatcher.registry is None:
+        dispatcher.registry = registry
     server = await open_tcp_listener(dispatcher.handle)
     host, port = server.sockets[0].getsockname()[:2]
     workers = [
         threading.Thread(
             target=worker_loop, args=(host, port, "worker-%d" % index),
+            kwargs={"heartbeat": heartbeat},
             daemon=True,
         )
         for index in range(jobs)
     ]
     for worker in workers:
         worker.start()
+
+    async def _evictor():
+        interval = max(heartbeat_timeout * _EVICT_SWEEP_FRACTION, 0.01)
+        while True:
+            await asyncio.sleep(interval)
+            await dispatcher.evict_dead()
+
+    evictor = None
+    if dispatcher.registry is not None and heartbeat_timeout is not None:
+        evictor = asyncio.ensure_future(_evictor())
     try:
         await dispatcher.done.wait()
     finally:
+        if evictor is not None:
+            evictor.cancel()
+            await asyncio.gather(evictor, return_exceptions=True)
         server.close()
         await server.wait_closed()
     for worker in workers:
@@ -158,11 +288,17 @@ async def _dispatch(specs: List[ScenarioSpec], jobs: int,
 
 
 def run_remote_campaign(specs: Sequence[ScenarioSpec],
-                        jobs: Optional[int] = None) -> List[ScenarioResult]:
+                        jobs: Optional[int] = None,
+                        heartbeat: Optional[float] = None,
+                        heartbeat_timeout: Optional[float] = None,
+                        ) -> List[ScenarioResult]:
     """Execute *specs* through remote-style workers; spec-ordered results.
 
     ``jobs`` bounds the worker count (default: the CPU count, capped by
-    the number of specs).  Synchronous wrapper around one fresh event
+    the number of specs).  ``heartbeat`` makes every worker emit
+    liveness frames and puts the dispatcher's registry + eviction sweep
+    in charge of dead workers (silent for ``heartbeat_timeout``,
+    default 3 heartbeats).  Synchronous wrapper around one fresh event
     loop -- call it from regular code, not from inside a running loop.
     """
     specs = list(specs)
@@ -171,4 +307,5 @@ def run_remote_campaign(specs: Sequence[ScenarioSpec],
     if jobs is None:
         jobs = os.cpu_count() or 1
     jobs = max(1, min(jobs, len(specs)))
-    return asyncio.run(_dispatch(specs, jobs))
+    return asyncio.run(_dispatch(specs, jobs, heartbeat=heartbeat,
+                                 heartbeat_timeout=heartbeat_timeout))

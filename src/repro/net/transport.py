@@ -259,10 +259,18 @@ def _ensure_default_frame_types():
     if _frame_types_initialised:
         return
     _frame_types_initialised = True
+    from repro.apex.regions import (
+        ExecutableRegion,
+        MetadataRegion,
+        OutputRegion,
+        PoxConfig,
+    )
     from repro.firmware.blinker import BlinkerParameters
     from repro.firmware.sensor_logger import SensorParameters
     from repro.firmware.syringe_pump import PumpParameters
     from repro.firmware.testbench import FirmwareSpec, TestbenchConfig
+    from repro.memory.layout import MemoryRegion
+    from repro.net.service import DeviceEnrollment
     from repro.sim.runner import ScenarioResult
     from repro.sim.scenario import (
         EventSpec,
@@ -274,9 +282,11 @@ def _ensure_default_frame_types():
     from repro.vrased.swatt import AttestationReport
 
     for cls in (
-        AttestationReport, BlinkerParameters, EventSpec, FirmwareRef,
-        FirmwareSpec, Observe, PumpParameters, ScenarioResult, ScenarioSpec,
-        SensorParameters, StopSpec, TestbenchConfig,
+        AttestationReport, BlinkerParameters, DeviceEnrollment, EventSpec,
+        ExecutableRegion, FirmwareRef, FirmwareSpec, MemoryRegion,
+        MetadataRegion, Observe, OutputRegion, PoxConfig, PumpParameters,
+        ScenarioResult, ScenarioSpec, SensorParameters, StopSpec,
+        TestbenchConfig,
     ):
         allow_frame_type(cls)
 

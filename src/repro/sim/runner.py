@@ -382,7 +382,8 @@ class CampaignRunner:
     """
 
     def __init__(self, backend: str = "serial", jobs: Optional[int] = None,
-                 warm: bool = False, engine: Optional[str] = None):
+                 warm: bool = False, engine: Optional[str] = None,
+                 heartbeat: Optional[float] = None):
         if backend not in BACKENDS:
             raise ValueError("backend must be one of %s, got %r"
                              % (", ".join(BACKENDS), backend))
@@ -390,6 +391,9 @@ class CampaignRunner:
             raise ValueError("jobs must be >= 1, got %r" % jobs)
         if warm and backend != "process":
             raise ValueError("warm pools apply to the process backend only, "
+                             "not %r" % backend)
+        if heartbeat is not None and backend != "remote":
+            raise ValueError("heartbeats apply to the remote backend only, "
                              "not %r" % backend)
         if engine is not None:
             # Imported lazily to keep the campaign engine importable
@@ -401,6 +405,10 @@ class CampaignRunner:
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
         self.warm = warm
         self.engine = engine
+        #: Remote backend only: worker heartbeat interval in seconds;
+        #: the dispatcher registry then evicts (and requeues for) any
+        #: worker silent for three heartbeats.
+        self.heartbeat = heartbeat
 
     def _spec_with_engine(self, spec: ScenarioSpec) -> ScenarioSpec:
         if spec.kind != "pox":
@@ -453,4 +461,5 @@ class CampaignRunner:
         # service layer in for the serial/thread/process backends.
         from repro.net.remote import run_remote_campaign
 
-        return run_remote_campaign(specs, jobs=self.jobs)
+        return run_remote_campaign(specs, jobs=self.jobs,
+                                   heartbeat=self.heartbeat)

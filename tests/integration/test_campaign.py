@@ -230,7 +230,7 @@ class TestExperimentBackendDifferential:
     def test_run_all_accepts_prebuilt_campaign(self):
         campaign = CampaignRunner(backend="process", jobs=2)
         results = runners.run_all_experiments(
-            skip=["E4-E5", "E6", "E8", "E9"], campaign=campaign)
+            skip=["E4-E5", "E6", "E8", "E9", "FLEET"], campaign=campaign)
         assert [r.experiment_id for r in results] == ["E1-E3", "E7"]
         assert all(result.succeeded for result in results)
 

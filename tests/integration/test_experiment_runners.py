@@ -129,6 +129,20 @@ class TestCommandLine:
         assert "--warm-pool requires" in capsys.readouterr().err
         assert main(["E7", "--backend", "thread", "--warm-pool"]) == 2
 
+    def test_fleet_experiment_runs_with_cluster_flags(self, capsys):
+        assert main(["FLEET", "--shards", "2", "--heartbeat", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "cluster" in out
+        assert "All 1 experiments" in out
+
+    def test_bad_shards_value_rejected(self, capsys):
+        assert main(["FLEET", "--shards", "0"]) == 2
+        assert "--shards must be >= 1" in capsys.readouterr().err
+
+    def test_bad_heartbeat_value_rejected(self, capsys):
+        assert main(["FLEET", "--heartbeat", "0"]) == 2
+        assert "--heartbeat must be > 0" in capsys.readouterr().err
+
     def test_cli_reads_the_registry_live(self, capsys, monkeypatch):
         def extra_runner(campaign=None):
             return ExperimentResult("E10", "registered after import")
@@ -144,9 +158,19 @@ class TestCommandLine:
 
 class TestRunAllExperiments:
     def test_skip_subsets_the_registry(self):
-        results = run_all_experiments(skip=["E4-E5", "E6", "E8", "E9"])
+        results = run_all_experiments(skip=["E4-E5", "E6", "E8", "E9", "FLEET"])
         assert [r.experiment_id for r in results] == ["E1-E3", "E7"]
         assert all(r.succeeded for r in results)
+
+    def test_overrides_substitute_a_runner_without_mutating_registry(self):
+        def stub(campaign=None):
+            return ExperimentResult("FLEET", "stubbed", succeeded=True)
+
+        skip = [i for i in ALL_IDS if i != "FLEET"]
+        results = run_all_experiments(skip=skip, overrides={"FLEET": stub})
+        assert [r.experiment_id for r in results] == ["FLEET"]
+        assert results[0].title == "stubbed"
+        assert runners.EXPERIMENT_RUNNERS["FLEET"] is runners.run_fleet_control
 
     def test_skip_everything_runs_nothing(self):
         assert run_all_experiments(skip=list(ALL_IDS)) == []

@@ -1,0 +1,205 @@
+"""Integration tests for the remote backend's registry/heartbeat layer.
+
+The satellites pinned here:
+
+* a worker killed **between frame header and payload** (mid-frame) has
+  its assignment requeued exactly once and the campaign still drains;
+* a worker started before its dispatcher retries the connection with
+  capped exponential backoff instead of dying on the first refusal;
+* a worker that joins and then goes silent (no heartbeats, no results)
+  is evicted by the registry sweep -- socket closed, assignment
+  requeued -- and a live worker finishes the campaign.
+"""
+
+import asyncio
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.net.remote import _Dispatcher, _connect_with_backoff, worker_loop
+from repro.net.transport import open_tcp_listener, read_frame, write_frame
+from repro.cluster.registry import WorkerRegistry
+from repro.sim import ScenarioSpec
+
+
+def ltl_specs(count):
+    return [
+        ScenarioSpec(name="ltl-%d" % index, kind="ltl",
+                     ltl_property="vrased-key-no-dma")
+        for index in range(count)
+    ]
+
+
+async def _await_done(dispatcher, timeout=30.0):
+    await asyncio.wait_for(dispatcher.done.wait(), timeout=timeout)
+
+
+class TestMidFrameDeath:
+    def test_midframe_death_requeues_exactly_once(self):
+        # The regression this pins: a worker that dies *inside* a frame
+        # -- header written, payload never -- must land the dispatcher
+        # in its lost-worker path once, not twice (transport error and
+        # eviction both racing to requeue) and not zero times (header
+        # mistaken for a short read to retry).
+        specs = ltl_specs(3)
+        got_assignment = threading.Event()
+        release_killer = threading.Event()
+
+        def evil_worker(host, port):
+            sock = socket.create_connection((host, port))
+            write_frame(sock, {"kind": "ready", "worker": "evil"})
+            read_frame(sock)  # take an assignment
+            got_assignment.set()
+            release_killer.wait(5.0)
+            # Half a frame: a 64-byte length header, then death.
+            sock.sendall(struct.pack(">I", 64))
+            sock.close()
+
+        async def body():
+            dispatcher = _Dispatcher(specs)
+            server = await open_tcp_listener(dispatcher.handle)
+            host, port = server.sockets[0].getsockname()[:2]
+            evil = threading.Thread(target=evil_worker, args=(host, port),
+                                    daemon=True)
+            evil.start()
+            # Only once the evil worker holds an assignment does the
+            # good worker start: the requeued spec must flow to it.
+            while not got_assignment.is_set():
+                await asyncio.sleep(0.01)
+            good = threading.Thread(target=worker_loop,
+                                    args=(host, port, "good"), daemon=True)
+            good.start()
+            await asyncio.sleep(0.05)
+            release_killer.set()
+            await _await_done(dispatcher)
+            server.close()
+            await server.wait_closed()
+            evil.join(timeout=5.0)
+            good.join(timeout=5.0)
+            return dispatcher
+
+        dispatcher = asyncio.run(body())
+        assert dispatcher.requeues == 1
+        assert dispatcher.remaining == 0
+        assert all(result is not None for result in dispatcher.results)
+        assert all(result.observations["holds"]
+                   for result in dispatcher.results)
+
+
+class TestReconnectBackoff:
+    def test_worker_started_before_dispatcher_connects(self):
+        # Reserve a port, point the worker at it while nothing listens,
+        # then bring the listener up: the worker's capped-backoff dial
+        # loop must find it and serve the whole campaign.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        host, port = probe.getsockname()
+        probe.close()
+
+        specs = ltl_specs(2)
+        worker = threading.Thread(
+            target=worker_loop, args=(host, port, "early-bird"),
+            kwargs={"connect_attempts": 30, "connect_backoff": 0.02},
+            daemon=True)
+        worker.start()
+
+        async def body():
+            dispatcher = _Dispatcher(specs)
+            await asyncio.sleep(0.15)  # let a few refusals happen first
+            server = await open_tcp_listener(dispatcher.handle,
+                                             host=host, port=port)
+            await _await_done(dispatcher)
+            server.close()
+            await server.wait_closed()
+            return dispatcher
+
+        dispatcher = asyncio.run(body())
+        worker.join(timeout=5.0)
+        assert dispatcher.remaining == 0
+        assert all(result is not None for result in dispatcher.results)
+
+    def test_backoff_gives_up_after_bounded_attempts(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        host, port = probe.getsockname()
+        probe.close()  # nothing will ever listen here
+        with pytest.raises(OSError):
+            _connect_with_backoff(host, port, attempts=3, base_delay=0.01)
+
+
+class TestHeartbeatEviction:
+    def test_silent_worker_is_evicted_and_its_work_requeued(self):
+        specs = ltl_specs(3)
+        got_assignment = threading.Event()
+
+        def zombie(host, port):
+            sock = socket.create_connection((host, port))
+            write_frame(sock, {"kind": "ready", "worker": "zombie"})
+            read_frame(sock)  # take an assignment...
+            got_assignment.set()
+            try:
+                read_frame(sock)  # ...then go silent until evicted
+            except Exception:
+                pass
+            finally:
+                sock.close()
+
+        async def body():
+            registry = WorkerRegistry(heartbeat_timeout=0.15)
+            dispatcher = _Dispatcher(specs, registry=registry)
+            server = await open_tcp_listener(dispatcher.handle)
+            host, port = server.sockets[0].getsockname()[:2]
+
+            async def evictor():
+                while True:
+                    await asyncio.sleep(0.05)
+                    await dispatcher.evict_dead()
+
+            sweep = asyncio.ensure_future(evictor())
+            dead = threading.Thread(target=zombie, args=(host, port),
+                                    daemon=True)
+            dead.start()
+            while not got_assignment.is_set():
+                await asyncio.sleep(0.01)
+            live = threading.Thread(
+                target=worker_loop, args=(host, port, "live"),
+                kwargs={"heartbeat": 0.05}, daemon=True)
+            live.start()
+            await _await_done(dispatcher)
+            sweep.cancel()
+            await asyncio.gather(sweep, return_exceptions=True)
+            server.close()
+            await server.wait_closed()
+            dead.join(timeout=5.0)
+            live.join(timeout=5.0)
+            return dispatcher, registry
+
+        dispatcher, registry = asyncio.run(body())
+        assert registry.counters["evictions"] == 1
+        assert "zombie" not in registry
+        assert dispatcher.requeues == 1
+        assert dispatcher.remaining == 0
+        assert all(result is not None for result in dispatcher.results)
+
+    def test_remote_campaign_with_heartbeats_end_to_end(self):
+        from repro.net.remote import run_remote_campaign
+
+        specs = ltl_specs(4)
+        results = run_remote_campaign(specs, jobs=2, heartbeat=0.05)
+        assert len(results) == 4
+        assert all(result.ok for result in results)
+
+    def test_campaign_runner_rejects_heartbeat_off_remote(self):
+        from repro.sim import CampaignRunner
+
+        with pytest.raises(ValueError, match="remote"):
+            CampaignRunner(backend="serial", heartbeat=0.1)
+
+    def test_campaign_runner_threads_heartbeat_to_remote(self):
+        from repro.sim import CampaignRunner
+
+        outcome = CampaignRunner(backend="remote", jobs=2,
+                                 heartbeat=0.05).run(ltl_specs(3))
+        assert outcome.all_ok()

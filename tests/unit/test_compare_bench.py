@@ -102,3 +102,58 @@ class TestMain:
     def test_committed_baseline_is_loadable(self):
         rates = compare_bench.load_rates(compare_bench.DEFAULT_BASELINE)
         assert "interp" in rates and "blocks" in rates
+
+
+def _fleet_payload(loopback1, cluster2):
+    return {
+        "benchmark": "fleet_exchanges_per_second",
+        "rows": [
+            {"label": "loopback-1", "exchanges_per_sec": loopback1},
+            {"label": "cluster-2", "exchanges_per_sec": cluster2},
+        ],
+    }
+
+
+class TestFleetProfile:
+    def test_profile_table_is_well_formed(self):
+        for profile in compare_bench.PROFILES.values():
+            assert {"baseline", "current", "key", "value", "reference"} \
+                <= set(profile)
+
+    def test_fleet_rows_load_by_label(self, tmp_path):
+        path = _write(tmp_path / "fleet.json", _fleet_payload(100.0, 260.0))
+        rates = compare_bench.load_rates(path, key="label",
+                                         value="exchanges_per_sec")
+        assert rates == {"loopback-1": 100.0, "cluster-2": 260.0}
+
+    def test_fleet_normalizes_to_loopback_1(self):
+        rates = {"loopback-1": 100.0, "cluster-2": 260.0}
+        normalized = compare_bench.normalize(rates, reference="loopback-1")
+        assert normalized == {"loopback-1": 1.0, "cluster-2": 2.6}
+
+    def test_fleet_gate_catches_scaling_collapse(self, tmp_path, capsys):
+        baseline = _write(tmp_path / "base.json", _fleet_payload(100.0, 260.0))
+        # Same absolute loopback rate, but the cluster speedup halved.
+        current = _write(tmp_path / "cur.json", _fleet_payload(100.0, 130.0))
+        code = compare_bench.main([
+            "--profile", "fleet",
+            "--baseline", str(baseline), "--current", str(current)])
+        assert code == 1
+        assert "cluster-2" in capsys.readouterr().out
+
+    def test_fleet_gate_ignores_uniform_machine_speed(self, tmp_path, capsys):
+        baseline = _write(tmp_path / "base.json", _fleet_payload(100.0, 260.0))
+        current = _write(tmp_path / "cur.json", _fleet_payload(50.0, 130.0))
+        code = compare_bench.main([
+            "--profile", "fleet",
+            "--baseline", str(baseline), "--current", str(current)])
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_committed_fleet_baseline_matches_profile(self):
+        profile = compare_bench.PROFILES["fleet"]
+        path = _SCRIPT.parent / profile["baseline"]
+        rates = compare_bench.load_rates(path, key=profile["key"],
+                                         value=profile["value"])
+        assert profile["reference"] in rates
+        assert "cluster-1" in rates and "cluster-2" in rates
