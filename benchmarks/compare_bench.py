@@ -9,7 +9,7 @@ any row's throughput regressed by more than ``--threshold`` (default
     python benchmarks/compare_bench.py --current BENCH_sim.json
     python benchmarks/compare_bench.py --absolute --threshold 0.10
 
-Two gated **profiles**, selected with ``--profile``:
+Four gated **profiles**, selected with ``--profile``:
 
 * ``sim`` (default): ``BENCH_sim.json`` rows keyed by ``engine``,
   rates from ``steps_per_sec``, normalized to the ``interp`` row.
@@ -18,6 +18,16 @@ Two gated **profiles**, selected with ``--profile``:
   ``loopback-1`` row -- so the gate tracks how fleet/cluster
   throughput *scales* (16-device vs 1-device, 2-shard vs 1-shard)
   rather than raw exchange rates.
+* ``attest``: ``BENCH_attest.json`` rows keyed by ``label``
+  (``pure-64KiB``, ``fast-256B``, ...), rates from
+  ``reports_per_sec``, normalized to the ``pure-64KiB`` reference --
+  tracking the fast-backend speedup and the small-region overhead
+  ratio rather than absolute crypto throughput.
+* ``campaign``: ``BENCH_campaign.json`` rows keyed by ``label``
+  (``serial-1``, ``process-4-warm``, ``store-warm``, ...), rates from
+  ``scenarios_per_sec``, normalized to the ``serial-1`` row -- so the
+  gate tracks backend scaling and the warm-store speedup of the
+  incremental campaign path.
 
 Two comparison modes:
 
@@ -63,6 +73,20 @@ PROFILES = {
         "key": "label",
         "value": "exchanges_per_sec",
         "reference": "loopback-1",
+    },
+    "attest": {
+        "baseline": "BENCH_attest.baseline.json",
+        "current": "BENCH_attest.json",
+        "key": "label",
+        "value": "reports_per_sec",
+        "reference": "pure-64KiB",
+    },
+    "campaign": {
+        "baseline": "BENCH_campaign.baseline.json",
+        "current": "BENCH_campaign.json",
+        "key": "label",
+        "value": "scenarios_per_sec",
+        "reference": "serial-1",
     },
 }
 

@@ -83,7 +83,11 @@ def write_bench_json(name, payload):
     directory = Path(os.environ.get("REPRO_BENCH_DIR", "."))
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / name
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    # allow_nan=False: bench artifacts are consumed by strict RFC-8259
+    # parsers (the compare gate, CI tooling); an Infinity/NaN rate is a
+    # bug upstream and should fail loudly here, not downstream.
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True,
+                               allow_nan=False) + "\n")
     print("\nwrote %s" % path)
     return path
 

@@ -89,7 +89,12 @@ def test_attestation_reports_per_second(benchmark, table_printer, bench_json):
         "benchmark": "attestation_reports_per_second",
         "unit": "reports/sec",
         "rows": [
-            {"backend": backend, "region": label, "reports_per_sec": rate}
+            # "label" is the stable row key the perf gate
+            # (compare_bench.py --profile attest) joins baseline and
+            # current rows on: pure-256B, pure-64KiB, fast-256B, fast-64KiB.
+            {"backend": backend, "region": label,
+             "label": "%s-%s" % (backend, label.replace(" ", "")),
+             "reports_per_sec": rate}
             for (backend, label), rate in sorted(rates.items())
         ],
         "full_memory_speedup": rates[("fast", "64 KiB")] / rates[("pure", "64 KiB")],

@@ -19,18 +19,31 @@ why it exists) and the warm persistent process pool, whose workers
 keep their per-process caches (assembled firmware images, LTL models,
 HMAC key states) across campaigns.
 
+The table also records the **incremental** path: the same sweep against
+a cold and then a warm content-addressed result store
+(:class:`~repro.sim.store.ResultStore`).  The warm run serves every
+scenario from cache -- ``store_hits == len(specs)`` is asserted -- and
+must clear >= 10x the cold run's scenarios/sec: the whole point of the
+store is that re-running an unchanged sweep costs fingerprints and file
+reads, not simulation.
+
 Run with ``pytest benchmarks/test_bench_campaign.py --benchmark-only -s``.
 """
 
 from __future__ import annotations
 
 import os
+import tempfile
 import time
 
 import pytest
 
 from repro.experiments.runners import security_scenarios
 from repro.sim import CampaignRunner, shutdown_warm_pools
+
+#: Required warm-store over cold-store scenarios/sec ratio: serving a
+#: sweep from cache must beat executing it by at least this factor.
+REQUIRED_STORE_SPEEDUP = 10.0
 
 #: Required wall-clock speedup of 4 process jobs over serial (only
 #: asserted when the machine actually has >= 4 CPUs).
@@ -65,17 +78,49 @@ def test_campaign_scaling_attack_gallery(benchmark, table_printer, bench_json):
     rows = []
     json_rows = []
     for (backend, jobs, warm), seconds in timings.items():
-        label = backend + ("+warm" if warm else "")
+        display = backend + ("+warm" if warm else "")
         rows.append({
-            "backend": label, "jobs": jobs,
+            "backend": display, "jobs": jobs,
             "wall clock (s)": "%.2f" % seconds,
             "scenarios/sec": "%.1f" % (scenario_count / seconds),
             "speedup": "%.2fx" % (serial_seconds / seconds),
         })
         json_rows.append({
+            # "label" is the stable row key the perf gate
+            # (compare_bench.py --profile campaign) joins on.
+            "label": "%s-%d%s" % (backend, jobs, "-warm" if warm else ""),
             "backend": backend, "jobs": jobs, "warm": warm,
             "wall_clock_sec": seconds,
             "scenarios_per_sec": scenario_count / seconds,
+        })
+
+    # Incremental path: the same sweep against a cold then a warm
+    # result store.  The warm run must serve everything from cache.
+    with tempfile.TemporaryDirectory() as store_dir:
+        cold_runner = CampaignRunner(store=store_dir)
+        cold = cold_runner.run(security_scenarios())
+        assert cold.all_ok()
+        assert cold.store_misses == scenario_count
+        warm_runner = CampaignRunner(store=store_dir)
+        warm = warm_runner.run(security_scenarios())
+        assert warm.all_ok()
+        assert warm.store_hits == scenario_count, (
+            "warm store run executed scenarios it should have served: "
+            "%d hits of %d" % (warm.store_hits, scenario_count))
+        assert warm.rows() == cold.rows()
+    for label, outcome in (("store-cold", cold), ("store-warm", warm)):
+        rows.append({
+            "backend": label, "jobs": 1,
+            "wall clock (s)": "%.2f" % outcome.elapsed_seconds,
+            "scenarios/sec": "%.1f" % outcome.scenarios_per_second,
+            "speedup": "%.2fx" % (serial_seconds / outcome.elapsed_seconds),
+        })
+        json_rows.append({
+            "label": label, "backend": "serial", "jobs": 1, "warm": False,
+            "wall_clock_sec": outcome.elapsed_seconds,
+            "scenarios_per_sec": outcome.scenarios_per_second,
+            "store_hits": outcome.store_hits,
+            "store_misses": outcome.store_misses,
         })
     table_printer("Campaign throughput (E9 attack gallery, %d scenarios)"
                   % scenario_count, rows)
@@ -90,6 +135,12 @@ def test_campaign_scaling_attack_gallery(benchmark, table_printer, bench_json):
         lambda: CampaignRunner().run(security_scenarios()[:2]),
         rounds=1,
     )
+
+    store_speedup = (warm.scenarios_per_second
+                     / max(cold.scenarios_per_second, 1e-9))
+    assert store_speedup >= REQUIRED_STORE_SPEEDUP, (
+        "expected the warm store to clear >= %.0fx the cold run, got %.1fx"
+        % (REQUIRED_STORE_SPEEDUP, store_speedup))
 
     cpus = os.cpu_count() or 1
     if cpus >= 4:

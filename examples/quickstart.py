@@ -55,6 +55,57 @@ def campaign_demo():
         print("%-24s %s" % (result.name, result.row))
 
 
+def store_demo():
+    """Incremental campaigns: a content-addressed result store.
+
+    Every spec has a stable content address (``spec.fingerprint()``,
+    SHA-256 over the canonical spec encoding + the execution engine +
+    the code epoch).  Give the runner a store directory and unchanged
+    scenarios are served from disk instead of executing -- the second
+    sweep below runs **zero** scenarios and produces identical rows.
+
+    Cached entries are invalidated automatically when anything that
+    could change the outcome changes:
+
+    * *the spec* -- any field perturbation (schedule, config override,
+      expectation, firmware reference) changes the fingerprint;
+    * *the execution engine* -- an ``exec_engine`` override pins a pox
+      spec, otherwise the ambient selection (``REPRO_EXEC_BACKEND``)
+      is folded in;
+    * *the code epoch* -- bump ``repro.sim.CODE_EPOCH`` (or set
+      ``REPRO_CODE_EPOCH``) when a code change alters what scenarios
+      compute, invalidating every stored result at once.
+
+    The CLI equivalent is ``python -m repro.experiments --store DIR``
+    (``--no-reuse`` to recompute, ``--stream`` for per-scenario
+    progress lines).
+    """
+    import tempfile
+
+    specs = [
+        ScenarioSpec(
+            name="store-blinker-%s" % architecture,
+            firmware=FirmwareRef.of("blinker", authorized=True),
+            config_overrides={"architecture": architecture},
+            events=(EventSpec("button_press", step=6),),
+            observe=(Observe("accepted"),),
+        )
+        for architecture in ("asap", "apex")
+    ]
+    print("\n--- incremental campaigns (content-addressed store) ---")
+    with tempfile.TemporaryDirectory() as store_dir:
+        cold = CampaignRunner(store=store_dir).run(specs)
+        warm = CampaignRunner(store=store_dir).run(specs)
+        print("cold run: %d executed, %d served from cache"
+              % (cold.store_misses, cold.store_hits))
+        print("warm run: %d executed, %d served from cache"
+              % (warm.store_misses, warm.store_hits))
+        assert warm.rows() == cold.rows()
+        assert all(result.cached for result in warm)
+        print("rows identical; fingerprint example: %s..."
+              % specs[0].fingerprint()[:16])
+
+
 def engine_demo():
     """Execution engines: the reference interpreter vs compiled blocks.
 
@@ -173,6 +224,7 @@ def main():
         raise SystemExit("unexpected: the proof should have been accepted")
 
     campaign_demo()
+    store_demo()
     engine_demo()
     cluster_demo()
 

@@ -82,6 +82,7 @@ from repro.sim import (
     EventSpec,
     FirmwareRef,
     Observe,
+    ResultStore,
     ScenarioResult,
     ScenarioSpec,
     StopSpec,
@@ -187,6 +188,7 @@ __all__ = [
     "EventSpec",
     "FirmwareRef",
     "Observe",
+    "ResultStore",
     "ScenarioResult",
     "ScenarioSpec",
     "StopSpec",

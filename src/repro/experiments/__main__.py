@@ -7,9 +7,18 @@ Runs the experiment campaigns and prints the consolidated report::
     python -m repro.experiments --list               # available ids
     python -m repro.experiments --backend process --jobs 4
     python -m repro.experiments --json report.json   # machine-readable export
+    python -m repro.experiments --store results/     # incremental re-runs
+    python -m repro.experiments --stream             # per-scenario progress
 
 Unknown flags are rejected with exit code 2 (argparse); a failing
 experiment exits 1.
+
+With ``--store DIR`` the campaigns become incremental: every scenario
+result is cached under its spec fingerprint, and a re-run of an
+unchanged sweep executes zero scenarios (the final ``result store:``
+line accounts for cache traffic).  ``--no-reuse`` recomputes everything
+while still refreshing the store; ``--stream`` prints one line per
+scenario as it completes instead of staying silent until the report.
 """
 
 from __future__ import annotations
@@ -81,7 +90,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", dest="json_path", metavar="PATH", default=None,
         help="also write the structured results to PATH as JSON",
     )
+    parser.add_argument(
+        "--store", dest="store_dir", metavar="DIR", default=None,
+        help="content-addressed result store directory: scenarios whose "
+             "spec fingerprint is already stored are served from cache "
+             "instead of executing; executed results are written back",
+    )
+    parser.add_argument(
+        "--no-reuse", action="store_true", dest="no_reuse",
+        help="with --store: recompute every scenario (ignore cached "
+             "results) but still write fresh results into the store",
+    )
+    parser.add_argument(
+        "--stream", action="store_true",
+        help="print one line per scenario as it completes (streaming "
+             "completion order, not spec order)",
+    )
     return parser
+
+
+def _stream_line(result) -> str:
+    """One ``--stream`` progress line per completed scenario."""
+    status = "ok" if result.ok else ("error" if result.error else "FAIL")
+    source = "cached" if result.cached else "ran"
+    return "[%s] %-6s %s (%.3fs)" % (status, source, result.name,
+                                     result.elapsed_seconds)
 
 
 def main(argv=None):
@@ -123,13 +156,36 @@ def main(argv=None):
     if args.heartbeat is not None and args.heartbeat <= 0:
         print("--heartbeat must be > 0", file=sys.stderr)
         return 2
+    if args.no_reuse and args.store_dir is None:
+        print("--no-reuse requires --store", file=sys.stderr)
+        return 2
+
+    store = None
+    if args.store_dir is not None:
+        from repro.sim import ResultStore
+
+        store = ResultStore(args.store_dir)
+
+    # Per-scenario streaming/accounting hook: counts cache provenance
+    # for the summary line and, under --stream, narrates completions.
+    served = {"cached": 0, "executed": 0}
+
+    def on_result(result):
+        served["cached" if result.cached else "executed"] += 1
+        if args.stream:
+            print(_stream_line(result), flush=True)
 
     # Worker heartbeats belong to the remote backend's dispatcher; for
     # every other backend the flag still reaches the FLEET cluster row.
     campaign_heartbeat = args.heartbeat if args.backend == "remote" else None
     campaign = CampaignRunner(backend=args.backend, jobs=args.jobs,
                               warm=args.warm_pool, engine=args.engine,
-                              heartbeat=campaign_heartbeat)
+                              heartbeat=campaign_heartbeat,
+                              store=store, reuse=not args.no_reuse,
+                              # `store is not None`, not truthiness: an
+                              # *empty* ResultStore is falsy (__len__).
+                              on_result=on_result
+                              if (args.stream or store is not None) else None)
     overrides = None
     if args.shards is not None or args.heartbeat is not None:
         overrides = {"FLEET": functools.partial(
@@ -156,6 +212,13 @@ def main(argv=None):
     for result in results:
         print(result.render())
         print()
+
+    if store is not None:
+        stats = store.stats()
+        print("result store: %d served from cache, %d executed, %d written "
+              "(%d unrepresentable skipped) in %s"
+              % (served["cached"], served["executed"], stats["writes"],
+                 stats["skipped"], store.root))
 
     if args.json_path:
         runners.write_json(results, args.json_path)

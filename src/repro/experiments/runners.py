@@ -459,6 +459,8 @@ def run_all_experiments(skip: Optional[List[str]] = None,
                         jobs: Optional[int] = None,
                         backend: Optional[str] = None,
                         overrides: Optional[Dict[str, Callable]] = None,
+                        store=None,
+                        reuse: bool = True,
                         ) -> List[ExperimentResult]:
     """Run every experiment (optionally skipping some ids); return results.
 
@@ -466,11 +468,17 @@ def run_all_experiments(skip: Optional[List[str]] = None,
     *backend*/*jobs* pair to build one; by default everything runs
     serially in-process.  *overrides* substitutes runners per id for
     this call only (the CLI uses it to bind ``--shards``/``--heartbeat``
-    into the FLEET runner without mutating the registry).
+    into the FLEET runner without mutating the registry).  *store* (a
+    :class:`~repro.sim.store.ResultStore` or directory path) makes the
+    campaigns incremental -- unchanged scenarios are served from the
+    content-addressed cache; ``reuse=False`` recomputes everything but
+    still refreshes the store.  Both are ignored when a ready
+    *campaign* is passed (configure it directly instead).
     """
     skip = set(skip or [])
     if campaign is None:
-        campaign = CampaignRunner(backend=backend or "serial", jobs=jobs)
+        campaign = CampaignRunner(backend=backend or "serial", jobs=jobs,
+                                  store=store, reuse=reuse)
     results = []
     for experiment_id, runner in EXPERIMENT_RUNNERS.items():
         if experiment_id in skip:

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
+from repro._lru import LruDict
 from repro.apex.hwmod import ApexMonitor
 from repro.apex.pox import PoxProtocol, PoxVerifier
 from repro.apex.regions import MetadataRegion, OutputRegion, PoxConfig
@@ -42,8 +43,11 @@ class FirmwareSpec:
 #: :class:`~repro.core.linker.LinkedFirmware` across testbenches is
 #: safe: it is read-only after linking (``load_into`` copies bytes out
 #: of the image into the device, never the other way around), and the
-#: cache key covers everything that influences the link.
-_LINK_CACHE: Dict[tuple, object] = {}
+#: cache key covers everything that influences the link.  LRU-bounded:
+#: a generated-firmware corpus makes every image unique, and an
+#: unbounded dict would leak a full linked image per scenario.
+_LINK_CACHE_CAP = 64
+_LINK_CACHE = LruDict(_LINK_CACHE_CAP)
 
 
 def _link_cache_key(firmware: FirmwareSpec, er_base: int) -> tuple:

@@ -134,7 +134,8 @@ def worker_loop(host, port, name="worker", heartbeat=None,
 class _Dispatcher:
     """Order-preserving work queue served over one TCP listener."""
 
-    def __init__(self, specs: List[ScenarioSpec], registry=None):
+    def __init__(self, specs: List[ScenarioSpec], registry=None,
+                 on_result=None):
         self.specs = specs
         self.results: List[Optional[ScenarioResult]] = [None] * len(specs)
         self.queue = deque(range(len(specs)))
@@ -144,6 +145,10 @@ class _Dispatcher:
         self.requeues = 0
         #: Optional WorkerRegistry tracking join/beat/evict per worker.
         self.registry = registry
+        #: Optional ``(index, result)`` completion callback, invoked in
+        #: arrival order (out-of-order by nature) -- the streaming
+        #: surface :func:`run_remote_campaign_iter` builds on.
+        self.on_result = on_result
         #: Live worker transports by name, so eviction can close the
         #: socket -- which lands the connection handler in its normal
         #: lost-worker path (requeue + connection-count bookkeeping)
@@ -156,6 +161,8 @@ class _Dispatcher:
     def _record(self, index, result):
         self.results[index] = result
         self.remaining -= 1
+        if self.on_result is not None:
+            self.on_result(index, result)
         if self.remaining == 0:
             self.done.set()
 
@@ -237,6 +244,7 @@ async def _dispatch(specs: List[ScenarioSpec], jobs: int,
                     heartbeat: Optional[float] = None,
                     heartbeat_timeout: Optional[float] = None,
                     dispatcher: Optional[_Dispatcher] = None,
+                    on_result=None,
                     ) -> List[ScenarioResult]:
     registry = None
     if heartbeat is not None:
@@ -249,9 +257,13 @@ async def _dispatch(specs: List[ScenarioSpec], jobs: int,
             heartbeat_timeout = 3 * heartbeat
         registry = WorkerRegistry(heartbeat_timeout=heartbeat_timeout)
     if dispatcher is None:
-        dispatcher = _Dispatcher(specs, registry=registry)
-    elif registry is not None and dispatcher.registry is None:
-        dispatcher.registry = registry
+        dispatcher = _Dispatcher(specs, registry=registry,
+                                 on_result=on_result)
+    else:
+        if registry is not None and dispatcher.registry is None:
+            dispatcher.registry = registry
+        if on_result is not None and dispatcher.on_result is None:
+            dispatcher.on_result = on_result
     server = await open_tcp_listener(dispatcher.handle)
     host, port = server.sockets[0].getsockname()[:2]
     workers = [
@@ -287,6 +299,74 @@ async def _dispatch(specs: List[ScenarioSpec], jobs: int,
     return dispatcher.results
 
 
+#: Sentinel closing the arrival queue of a streaming campaign.
+_STREAM_DONE = object()
+
+
+def run_remote_campaign_iter(items,
+                             jobs: Optional[int] = None,
+                             heartbeat: Optional[float] = None,
+                             heartbeat_timeout: Optional[float] = None,
+                             ):
+    """Streaming remote campaign: yield results as workers finish them.
+
+    *items* is a sequence of ``(index, spec)`` work items (bare specs
+    are accepted too and enumerated).  The generator yields ``(index,
+    result)`` pairs in **arrival order** -- the dispatcher hands out
+    specs to whichever worker is free, so arrivals are naturally
+    out-of-order -- and its *return value* is the item-ordered result
+    list, same as :func:`run_remote_campaign`.
+
+    The event loop runs on a private thread; completions cross a
+    thread-safe queue, so the consumer iterates plain synchronous
+    results while sockets stay serviced in the background.
+    """
+    items = list(items)
+    if items and not isinstance(items[0], tuple):
+        items = list(enumerate(items))
+    if not items:
+        return []
+    indices = [index for index, _spec in items]
+    specs = [spec for _index, spec in items]
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    jobs = max(1, min(jobs, len(specs)))
+
+    import queue
+
+    arrivals: "queue.Queue" = queue.Queue()
+    outcome = {}
+
+    def _deliver(position, result):
+        # Runs on the loop thread; map the dispatcher's dense position
+        # back to the caller's index before crossing the queue.
+        arrivals.put((indices[position], result))
+
+    def _drive():
+        try:
+            outcome["results"] = asyncio.run(
+                _dispatch(specs, jobs, heartbeat=heartbeat,
+                          heartbeat_timeout=heartbeat_timeout,
+                          on_result=_deliver))
+        except BaseException as error:  # noqa: BLE001 - re-raised below
+            outcome["error"] = error
+        finally:
+            arrivals.put(_STREAM_DONE)
+
+    loop_thread = threading.Thread(target=_drive, name="remote-campaign",
+                                   daemon=True)
+    loop_thread.start()
+    while True:
+        arrived = arrivals.get()
+        if arrived is _STREAM_DONE:
+            break
+        yield arrived
+    loop_thread.join()
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome["results"]
+
+
 def run_remote_campaign(specs: Sequence[ScenarioSpec],
                         jobs: Optional[int] = None,
                         heartbeat: Optional[float] = None,
@@ -298,14 +378,15 @@ def run_remote_campaign(specs: Sequence[ScenarioSpec],
     the number of specs).  ``heartbeat`` makes every worker emit
     liveness frames and puts the dispatcher's registry + eviction sweep
     in charge of dead workers (silent for ``heartbeat_timeout``,
-    default 3 heartbeats).  Synchronous wrapper around one fresh event
-    loop -- call it from regular code, not from inside a running loop.
+    default 3 heartbeats).  Synchronous wrapper draining
+    :func:`run_remote_campaign_iter` -- call it from regular code, not
+    from inside a running loop.
     """
-    specs = list(specs)
-    if not specs:
-        return []
-    if jobs is None:
-        jobs = os.cpu_count() or 1
-    jobs = max(1, min(jobs, len(specs)))
-    return asyncio.run(_dispatch(specs, jobs, heartbeat=heartbeat,
-                                 heartbeat_timeout=heartbeat_timeout))
+    iterator = run_remote_campaign_iter(specs, jobs=jobs,
+                                        heartbeat=heartbeat,
+                                        heartbeat_timeout=heartbeat_timeout)
+    while True:
+        try:
+            next(iterator)
+        except StopIteration as finished:
+            return finished.value or []

@@ -11,12 +11,15 @@ example.
 """
 
 from repro.sim.scenario import (
+    CODE_EPOCH,
     EventSpec,
     FirmwareRef,
     Observe,
     ScenarioContext,
     ScenarioSpec,
     StopSpec,
+    canonical_bytes,
+    code_epoch,
     register_event_kind,
     register_firmware_builder,
     register_observer,
@@ -30,18 +33,23 @@ from repro.sim.runner import (
     run_scenario,
     shutdown_warm_pools,
 )
+from repro.sim.store import ResultStore
 
 __all__ = [
     "BACKENDS",
+    "CODE_EPOCH",
     "CampaignResult",
     "CampaignRunner",
     "EventSpec",
     "FirmwareRef",
     "Observe",
+    "ResultStore",
     "ScenarioContext",
     "ScenarioResult",
     "ScenarioSpec",
     "StopSpec",
+    "canonical_bytes",
+    "code_epoch",
     "register_event_kind",
     "register_firmware_builder",
     "register_job",

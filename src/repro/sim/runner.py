@@ -32,6 +32,22 @@ backend:
   blocking-socket :func:`~repro.net.remote.worker_loop` that would run
   unchanged on another host, and results come back spec-ordered, so
   remote campaigns are row-for-row identical to serial ones.
+
+Two orthogonal levers make campaigns *incremental*:
+
+* **Result store** -- give the runner a
+  :class:`~repro.sim.store.ResultStore` (``store=...``) and specs whose
+  :meth:`~repro.sim.scenario.ScenarioSpec.fingerprint` is already on
+  disk are served from cache (``result.cached``) without executing
+  anything; only the misses go through the backend, and their results
+  are written back.  A re-run of an unchanged sweep executes zero
+  scenarios.
+* **Streaming completion** -- :meth:`CampaignRunner.run_iter` yields
+  each :class:`ScenarioResult` as it *finishes* (store hits first,
+  then backend completions in arrival order -- the process backend
+  streams via ``imap_unordered``, the remote backend surfaces the
+  dispatcher's out-of-order arrivals) while still returning the final
+  spec-ordered :class:`CampaignResult` as the generator's value.
 """
 
 from __future__ import annotations
@@ -45,8 +61,9 @@ import time
 import traceback
 from dataclasses import dataclass, field
 from multiprocessing.pool import ThreadPool
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro._lru import LruDict
 from repro.firmware.testbench import PoxTestbench
 from repro.sim.scenario import (
     Observe,
@@ -82,6 +99,11 @@ class ScenarioResult:
     ok: bool = True
     error: Optional[str] = None
     elapsed_seconds: float = 0.0
+    #: ``True`` when this result was served from a
+    #: :class:`~repro.sim.store.ResultStore` instead of being executed.
+    #: Provenance only: deliberately *not* part of :attr:`row`, so
+    #: cached rows stay byte-identical to recomputed ones.
+    cached: bool = False
 
     @property
     def row(self) -> Dict[str, object]:
@@ -114,6 +136,10 @@ class CampaignResult:
     backend: str
     jobs: int
     elapsed_seconds: float = 0.0
+    #: Result-store accounting: specs served from cache vs executed.
+    #: Both stay 0 when the campaign ran without a store.
+    store_hits: int = 0
+    store_misses: int = 0
 
     def __iter__(self):
         return iter(self.results)
@@ -138,9 +164,14 @@ class CampaignResult:
 
     @property
     def scenarios_per_second(self) -> float:
-        """Sweep throughput (the campaign benchmark's metric)."""
-        if self.elapsed_seconds <= 0:
-            return float("inf")
+        """Sweep throughput (the campaign benchmark's metric).
+
+        0.0 for empty and zero-elapsed campaigns: a rate of
+        ``float("inf")`` would be meaningless *and* unserialisable as
+        RFC-8259 JSON, which the bench payloads must stay.
+        """
+        if self.elapsed_seconds <= 0 or not self.results:
+            return 0.0
         return len(self.results) / self.elapsed_seconds
 
 
@@ -207,8 +238,11 @@ def _run_attack_spec(spec: ScenarioSpec) -> Dict[str, object]:
 
 
 #: Per-process cache of built LTL monitor models (a handful of models
-#: back the 21-property suite; rebuilding them per property is wasteful).
-_MODEL_CACHE: Dict[str, object] = {}
+#: back the 21-property suite; rebuilding them per property is
+#: wasteful).  LRU-bounded: a generated-scenario corpus registering its
+#: own model builders must not grow this without limit.
+_MODEL_CACHE_CAP = 8
+_MODEL_CACHE = LruDict(_MODEL_CACHE_CAP)
 _PROPERTY_INDEX: Dict[str, object] = {}
 
 
@@ -306,6 +340,13 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
     return result
 
 
+def _run_indexed(item: Tuple[int, ScenarioSpec]) -> Tuple[int, ScenarioResult]:
+    """Pool worker for the streaming backends: tag the result with its
+    spec index so ``imap_unordered`` completions can be re-ordered."""
+    index, spec = item
+    return index, run_scenario(spec)
+
+
 # --------------------------------------------------------------------------
 # The campaign runner
 # --------------------------------------------------------------------------
@@ -379,11 +420,23 @@ class CampaignRunner:
     kinds (attack/ltl/job bodies) build their devices outside the spec's
     config and follow the process-wide selection
     (``set_engine``/``REPRO_EXEC_BACKEND``) instead.
+
+    ``store`` (a :class:`~repro.sim.store.ResultStore` or a directory
+    path) makes the campaign incremental: with ``reuse=True`` (the
+    default) specs whose fingerprint is already stored are served from
+    cache without executing, and every executed result is written back.
+    ``reuse=False`` recomputes everything but still refreshes the
+    store.  ``on_result`` is called with each :class:`ScenarioResult`
+    as it completes (hits and misses alike), from :meth:`run` and
+    :meth:`run_iter` both -- the streaming hook the CLI's ``--stream``
+    uses.
     """
 
     def __init__(self, backend: str = "serial", jobs: Optional[int] = None,
                  warm: bool = False, engine: Optional[str] = None,
-                 heartbeat: Optional[float] = None):
+                 heartbeat: Optional[float] = None,
+                 store=None, reuse: bool = True,
+                 on_result: Optional[Callable[[ScenarioResult], None]] = None):
         if backend not in BACKENDS:
             raise ValueError("backend must be one of %s, got %r"
                              % (", ".join(BACKENDS), backend))
@@ -401,6 +454,11 @@ class CampaignRunner:
             from repro.cpu.engine import engine_class
 
             engine_class(engine)  # validate eagerly, fail loudly
+        if store is not None and not hasattr(store, "get"):
+            # A path-like: build the store in place (mkdir included).
+            from repro.sim.store import ResultStore
+
+            store = ResultStore(store)
         self.backend = backend
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
         self.warm = warm
@@ -409,6 +467,9 @@ class CampaignRunner:
         #: the dispatcher registry then evicts (and requeues for) any
         #: worker silent for three heartbeats.
         self.heartbeat = heartbeat
+        self.store = store
+        self.reuse = reuse
+        self.on_result = on_result
 
     def _spec_with_engine(self, spec: ScenarioSpec) -> ScenarioSpec:
         if spec.kind != "pox":
@@ -419,47 +480,114 @@ class CampaignRunner:
         return dataclasses.replace(spec, config_overrides=overrides)
 
     def run(self, specs: Sequence[ScenarioSpec]) -> CampaignResult:
-        """Execute every spec; return a :class:`CampaignResult`."""
+        """Execute every spec; return a :class:`CampaignResult`.
+
+        Built on :meth:`run_iter`: the iterator is drained and its
+        final value returned, so list-at-the-end and streaming callers
+        share one execution path (and one set of store semantics).
+        """
+        iterator = self.run_iter(specs)
+        while True:
+            try:
+                next(iterator)
+            except StopIteration as finished:
+                return finished.value
+
+    def run_iter(self, specs: Sequence[ScenarioSpec]
+                 ) -> Iterator[ScenarioResult]:
+        """Generator: yield each :class:`ScenarioResult` as it finishes.
+
+        Yield order is *completion* order -- store hits first (they
+        are free), then backend results as they arrive (the process
+        backend streams through ``imap_unordered``, the remote backend
+        surfaces the dispatcher's out-of-order arrivals; serial and
+        single-job campaigns complete in spec order by nature).  The
+        generator's **return value** is the final spec-ordered
+        :class:`CampaignResult`::
+
+            def drive(runner, specs):
+                outcome = yield from runner.run_iter(specs)
+                return outcome
+
+        Executed results are written back to the store as they land,
+        so even an interrupted campaign leaves its finished work
+        cached.
+        """
         specs = list(specs)
         if self.engine is not None:
             specs = [self._spec_with_engine(spec) for spec in specs]
         started = time.perf_counter()
-        if self.backend == "remote" and specs:
-            results = self._run_remote(specs)
-        elif self.jobs > 1 and len(specs) > 1 and self.backend == "process":
-            results = self._run_pool(specs)
-        elif self.jobs > 1 and len(specs) > 1 and self.backend == "thread":
-            results = self._run_threads(specs)
-        else:
-            results = [run_scenario(spec) for spec in specs]
+        results: List[Optional[ScenarioResult]] = [None] * len(specs)
+        fingerprints: Optional[List[str]] = None
+        hits = 0
+        pending = list(range(len(specs)))
+        if self.store is not None:
+            fingerprints = [spec.fingerprint() for spec in specs]
+            if self.reuse:
+                pending = []
+                for index, fingerprint in enumerate(fingerprints):
+                    cached = self.store.get(fingerprint)
+                    if cached is not None:
+                        results[index] = cached
+                        hits += 1
+                        yield self._emit(cached)
+                    else:
+                        pending.append(index)
+        for index, result in self._execute_iter(
+                [(index, specs[index]) for index in pending]):
+            results[index] = result
+            if self.store is not None:
+                self.store.put(fingerprints[index], result)
+            yield self._emit(result)
         return CampaignResult(
             results=results,
             backend=self.backend,
             jobs=self.jobs,
             elapsed_seconds=time.perf_counter() - started,
+            store_hits=hits,
+            # Store accounting only makes sense when a store took part;
+            # a store-less campaign "missed" nothing.
+            store_misses=len(pending) if self.store is not None else 0,
         )
 
-    def _run_pool(self, specs: List[ScenarioSpec]) -> List[ScenarioResult]:
-        # chunksize=1 everywhere below: scenarios are coarse units of
-        # seconds, not microtasks; per-item dispatch gives the best
-        # load balance.
-        if self.warm:
-            # Sized by self.jobs (not len(specs)) so repeat campaigns
-            # of any length land on the same persistent pool.
-            return _warm_pool(self.jobs).map(run_scenario, specs, chunksize=1)
-        context = _process_context()
-        processes = min(self.jobs, len(specs))
-        with context.Pool(processes=processes) as pool:
-            return pool.map(run_scenario, specs, chunksize=1)
+    def _emit(self, result: ScenarioResult) -> ScenarioResult:
+        if self.on_result is not None:
+            self.on_result(result)
+        return result
 
-    def _run_threads(self, specs: List[ScenarioSpec]) -> List[ScenarioResult]:
-        with ThreadPool(processes=min(self.jobs, len(specs))) as pool:
-            return pool.map(run_scenario, specs, chunksize=1)
+    def _execute_iter(self, items: List[Tuple[int, ScenarioSpec]]
+                      ) -> Iterator[Tuple[int, ScenarioResult]]:
+        """Run ``(index, spec)`` work items through the backend,
+        yielding ``(index, result)`` in completion order."""
+        if not items:
+            return
+        if self.backend == "remote":
+            # Imported lazily: the campaign engine must not drag the
+            # service layer in for the serial/thread/process backends.
+            from repro.net.remote import run_remote_campaign_iter
 
-    def _run_remote(self, specs: List[ScenarioSpec]) -> List[ScenarioResult]:
-        # Imported lazily: the campaign engine must not drag the
-        # service layer in for the serial/thread/process backends.
-        from repro.net.remote import run_remote_campaign
-
-        return run_remote_campaign(specs, jobs=self.jobs,
-                                   heartbeat=self.heartbeat)
+            yield from run_remote_campaign_iter(
+                items, jobs=self.jobs, heartbeat=self.heartbeat)
+        elif self.jobs > 1 and len(items) > 1 and self.backend == "process":
+            # chunksize=1 everywhere below: scenarios are coarse units
+            # of seconds, not microtasks; per-item dispatch gives the
+            # best load balance.
+            if self.warm:
+                # Sized by self.jobs (not len(items)) so repeat
+                # campaigns of any length land on the same persistent
+                # pool.
+                yield from _warm_pool(self.jobs).imap_unordered(
+                    _run_indexed, items, chunksize=1)
+            else:
+                context = _process_context()
+                processes = min(self.jobs, len(items))
+                with context.Pool(processes=processes) as pool:
+                    yield from pool.imap_unordered(
+                        _run_indexed, items, chunksize=1)
+        elif self.jobs > 1 and len(items) > 1 and self.backend == "thread":
+            with ThreadPool(processes=min(self.jobs, len(items))) as pool:
+                yield from pool.imap_unordered(
+                    _run_indexed, items, chunksize=1)
+        else:
+            for index, spec in items:
+                yield index, run_scenario(spec)

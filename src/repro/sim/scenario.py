@@ -21,6 +21,8 @@ the vocabulary without touching this module::
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import os
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
@@ -260,6 +262,83 @@ register_observer("active_steps", _active_steps)
 
 
 # --------------------------------------------------------------------------
+# Content fingerprints
+# --------------------------------------------------------------------------
+
+#: Code-version epoch folded into every fingerprint.  Bump it when a
+#: change alters what a scenario *computes* without changing its spec
+#: (new observer semantics, a monitor bugfix, ...): every stored result
+#: is then invalidated at once.  ``REPRO_CODE_EPOCH`` overrides it per
+#: process -- handy to force a cold campaign without touching a store.
+CODE_EPOCH = 1
+EPOCH_ENV_VAR = "REPRO_CODE_EPOCH"
+
+#: Version tag of the canonical encoding itself: a change to the
+#: encoding scheme must never collide with hashes of the old scheme.
+_FINGERPRINT_SCHEME = b"repro-scenario-fingerprint:v1;"
+
+
+def code_epoch() -> str:
+    """The effective code-version epoch (env override, else the constant)."""
+    return os.environ.get(EPOCH_ENV_VAR, str(CODE_EPOCH))
+
+
+def canonical_bytes(value) -> bytes:
+    """A stable, injective byte encoding of plain scenario data.
+
+    Supports exactly the vocabulary a :class:`ScenarioSpec` is allowed
+    to carry -- ``None``, bools, ints, floats, strings, bytes,
+    tuples/lists, dicts (order-insensitive: entries are sorted by their
+    encoded key) and dataclasses (tagged with their qualified class
+    name).  Every token is length- or delimiter-framed and type-tagged,
+    so distinct values can never encode to the same byte string
+    (``1``/``True``/``"1"`` all differ).  Anything else raises
+    ``TypeError`` -- a fingerprint over a value the encoding cannot
+    pin down would silently alias distinct scenarios.
+    """
+    if value is None:
+        return b"N;"
+    if value is True:
+        return b"T;"
+    if value is False:
+        return b"F;"
+    if isinstance(value, int):
+        return b"i%d;" % value
+    if isinstance(value, float):
+        return b"f" + repr(value).encode("ascii") + b";"
+    if isinstance(value, str):
+        encoded = value.encode("utf-8")
+        return b"s%d:" % len(encoded) + encoded
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        raw = bytes(value)
+        return b"b%d:" % len(raw) + raw
+    if isinstance(value, (tuple, list)):
+        return b"(" + b"".join(canonical_bytes(item) for item in value) + b")"
+    if isinstance(value, dict):
+        entries = sorted(
+            (canonical_bytes(key), canonical_bytes(item))
+            for key, item in value.items()
+        )
+        return b"{" + b"".join(key + item for key, item in entries) + b"}"
+    if isinstance(value, (frozenset, set)):
+        return b"<" + b"".join(sorted(canonical_bytes(item) for item in value)) + b">"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        tag = canonical_bytes("%s.%s" % (cls.__module__, cls.__qualname__))
+        fields = b"".join(
+            canonical_bytes(field.name)
+            + canonical_bytes(getattr(value, field.name))
+            for field in sorted(dataclasses.fields(value),
+                                key=lambda field: field.name)
+        )
+        return b"d" + tag + b"(" + fields + b")"
+    raise TypeError(
+        "cannot canonically encode %r (%s): scenario specs must carry "
+        "plain data (None/bool/int/float/str/bytes/tuple/dict/dataclass)"
+        % (value, type(value).__name__))
+
+
+# --------------------------------------------------------------------------
 # The scenario specification
 # --------------------------------------------------------------------------
 
@@ -351,3 +430,48 @@ class ScenarioSpec:
     def metadata(self) -> Dict[str, object]:
         """The constant row columns as a dict (insertion order kept)."""
         return dict(self.meta)
+
+    # ------------------------------------------------------------ identity
+
+    def effective_engine(self) -> Optional[str]:
+        """The execution engine this spec's devices would run on.
+
+        ``kind="pox"`` specs honour an ``exec_engine`` config override;
+        otherwise device-building kinds (``pox``/``attack``) follow the
+        process-wide selection (``REPRO_EXEC_BACKEND`` / the registry
+        default).  ``ltl``/``job`` kinds never build a device, so the
+        engine cannot influence them and ``None`` is returned.
+        """
+        if self.kind == "pox":
+            for key, value in self.config_overrides:
+                if key == "exec_engine" and value is not None:
+                    return value
+        if self.kind in ("pox", "attack"):
+            # Lazy import, mirroring the runner: the campaign layer must
+            # stay importable without the simulator stack.
+            from repro.cpu.engine import engine_name
+
+            return engine_name()
+        return None
+
+    def fingerprint(self) -> str:
+        """A stable SHA-256 content address for this scenario's outcome.
+
+        Two specs share a fingerprint exactly when they would compute
+        the same result: the hash covers every spec field (firmware /
+        event / observer registry references, schedules, configuration
+        including overrides, run mode, expectations, metadata), the
+        execution engine the scenario would run on
+        (:meth:`effective_engine`) and the :data:`code_epoch`.  Any
+        perturbation of any of those changes the fingerprint; the
+        crypto backend is deliberately excluded because the backends
+        are differentially pinned byte-identical.
+
+        This is what keys the on-disk
+        :class:`~repro.sim.store.ResultStore`: same fingerprint, same
+        rows -- so warm campaigns can serve cached results without
+        executing anything.
+        """
+        payload = canonical_bytes(
+            (code_epoch(), self.effective_engine(), self))
+        return hashlib.sha256(_FINGERPRINT_SCHEME + payload).hexdigest()

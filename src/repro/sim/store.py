@@ -1,0 +1,200 @@
+"""On-disk content-addressed store of scenario results.
+
+The incremental-campaign cache: a :class:`ResultStore` maps a
+:meth:`ScenarioSpec.fingerprint() <repro.sim.scenario.ScenarioSpec.fingerprint>`
+to the :class:`~repro.sim.runner.ScenarioResult` it produced, persisted
+as one JSON file per fingerprint under a shard directory (first two hex
+digits).  A :class:`~repro.sim.runner.CampaignRunner` given a store
+partitions its specs into hits -- served without executing anything,
+flagged ``result.cached`` -- and misses, which run through the normal
+backend and are written back; re-running an unchanged sweep executes
+zero scenarios.
+
+Persistence discipline:
+
+* **Atomic writes.** Every entry is written to a private temp file in
+  the same directory and ``os.replace``-d into place, so concurrent
+  writers (warm-pool workers, parallel campaign processes, two CI jobs
+  sharing a cache volume) can race freely: readers see either the old
+  complete entry, the new complete entry, or nothing -- never a torn
+  file.  Racing writers of the same fingerprint write identical bytes
+  by construction (same fingerprint, same outcome), so last-rename-wins
+  is harmless.
+* **Strict JSON.** Entries are encoded with ``allow_nan=False`` (RFC
+  8259: no ``Infinity``/``NaN``) and verified to *round-trip* before
+  being persisted: a result whose observations JSON cannot represent
+  exactly (tuples, exotic types) is skipped -- counted in
+  ``stats()["skipped"]`` -- rather than cached in a mutated form.
+  Cache hits are therefore byte-identical to recomputed rows, which is
+  what the differential tests pin.
+* **No sticky failures.** Results that *errored* (``result.error``)
+  are never cached: a crash may be environmental, and serving it from
+  cache would make it permanent.  Deterministic expectation mismatches
+  (``ok=False`` without an error) are cached like any other outcome.
+
+``prune()`` is the GC: bound the store by entry count and/or age,
+oldest (by mtime) evicted first.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import uuid
+from pathlib import Path
+from typing import Optional
+
+#: Entry-format version; bump on layout changes so stale files read as
+#: misses instead of mis-parsing.
+STORE_FORMAT = 1
+
+#: The ScenarioResult fields an entry persists (``cached`` is runtime
+#: provenance, not part of the outcome, and is never stored).
+_RESULT_FIELDS = ("name", "kind", "observations", "meta", "expected",
+                  "ok", "error", "elapsed_seconds")
+
+
+class ResultStore:
+    """A content-addressed, concurrency-safe scenario-result cache."""
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        #: Lifetime counters (this handle only, not the directory).
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.skipped = 0
+
+    # ------------------------------------------------------------ layout
+
+    def path_for(self, fingerprint: str) -> Path:
+        """Where the entry for *fingerprint* lives (two-hex-digit shard)."""
+        if len(fingerprint) < 3:
+            raise ValueError("fingerprint too short: %r" % fingerprint)
+        return self.root / fingerprint[:2] / (fingerprint + ".json")
+
+    def _entry_paths(self):
+        return sorted(self.root.glob("??/*.json"))
+
+    def __len__(self):
+        return len(self._entry_paths())
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self.path_for(fingerprint).exists()
+
+    # ------------------------------------------------------------ get/put
+
+    def get(self, fingerprint: str):
+        """The cached :class:`ScenarioResult` for *fingerprint*, or ``None``.
+
+        Unreadable, truncated or wrong-format entries count (and
+        behave) as misses -- the campaign then recomputes and the
+        writeback replaces the bad entry.  Returned results carry
+        ``cached=True``.
+        """
+        from repro.sim.runner import ScenarioResult
+
+        try:
+            payload = json.loads(self.path_for(fingerprint).read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (not isinstance(payload, dict)
+                or payload.get("format") != STORE_FORMAT
+                or payload.get("fingerprint") != fingerprint):
+            self.misses += 1
+            return None
+        try:
+            result = ScenarioResult(
+                **{field: payload["result"][field] for field in _RESULT_FIELDS})
+        except (KeyError, TypeError):
+            self.misses += 1
+            return None
+        result.cached = True
+        self.hits += 1
+        return result
+
+    def put(self, fingerprint: str, result) -> bool:
+        """Persist *result* under *fingerprint*; ``True`` when stored.
+
+        Returns ``False`` (and counts ``skipped``) for errored results
+        and for results JSON cannot represent byte-identically.
+        """
+        if result.error is not None:
+            self.skipped += 1
+            return False
+        fields = {field: getattr(result, field) for field in _RESULT_FIELDS}
+        try:
+            encoded = json.dumps(
+                {"format": STORE_FORMAT, "fingerprint": fingerprint,
+                 "result": fields},
+                allow_nan=False)
+        except (TypeError, ValueError):
+            self.skipped += 1
+            return False
+        # Round-trip guard: only cache what decodes back *exactly*
+        # (JSON would silently turn a tuple observation into a list,
+        # breaking cached-vs-recomputed row identity).
+        if json.loads(encoded)["result"] != fields:
+            self.skipped += 1
+            return False
+        path = self.path_for(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temp = path.parent / (".%s.%d.%s.tmp"
+                              % (fingerprint, os.getpid(), uuid.uuid4().hex[:8]))
+        temp.write_text(encoded + "\n")
+        os.replace(temp, path)
+        self.writes += 1
+        return True
+
+    # ------------------------------------------------------------ accounting
+
+    def stats(self) -> dict:
+        """Lifetime counters of this store handle."""
+        return {"hits": self.hits, "misses": self.misses,
+                "writes": self.writes, "skipped": self.skipped}
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were removed."""
+        removed = 0
+        for path in self._entry_paths():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - racing GC
+                pass
+        return removed
+
+    def prune(self, max_entries: Optional[int] = None,
+              max_age_seconds: Optional[float] = None,
+              now: Optional[float] = None) -> int:
+        """Garbage-collect: drop entries beyond *max_entries* (oldest
+        first) and/or older than *max_age_seconds*.  Returns the number
+        of entries removed.  Concurrent removals are tolerated."""
+        import time
+
+        if max_entries is not None and max_entries < 0:
+            raise ValueError("max_entries must be >= 0")
+        entries = []
+        for path in self._entry_paths():
+            try:
+                entries.append((path.stat().st_mtime, path))
+            except OSError:  # racing writer/GC; treat as already gone
+                continue
+        entries.sort()  # oldest first
+        doomed = []
+        if max_age_seconds is not None:
+            cutoff = (time.time() if now is None else now) - max_age_seconds
+            doomed.extend(path for mtime, path in entries if mtime < cutoff)
+        if max_entries is not None and len(entries) > max_entries:
+            keep_from = len(entries) - max_entries
+            doomed.extend(path for _mtime, path in entries[:keep_from])
+        removed = 0
+        for path in dict.fromkeys(doomed):  # dedup, stable order
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - racing GC
+                pass
+        return removed

@@ -130,6 +130,19 @@ class TestCampaignRunner:
         assert outcome.rows() == [result.row for result in outcome]
         assert outcome.elapsed_seconds > 0
         assert outcome.scenarios_per_second > 0
+        assert outcome.store_hits == 0 and outcome.store_misses == 0
+
+    def test_degenerate_throughput_is_zero_not_inf(self):
+        from repro.sim import CampaignResult, ScenarioResult
+
+        # An empty or zero-elapsed campaign has no meaningful rate --
+        # and float("inf") would poison the strict-JSON bench payloads.
+        empty = CampaignRunner().run([])
+        assert empty.scenarios_per_second == 0.0
+        zero_elapsed = CampaignResult(
+            results=[ScenarioResult(name="r", kind="pox")],
+            backend="serial", jobs=1, elapsed_seconds=0.0)
+        assert zero_elapsed.scenarios_per_second == 0.0
 
 
 class TestRemoteBackend:

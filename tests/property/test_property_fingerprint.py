@@ -1,0 +1,142 @@
+"""Property-based tests of the scenario fingerprint.
+
+The content-addressed result store is only sound if the fingerprint is
+*exactly* as fine-grained as the outcome: equal specs must collide
+(else warm campaigns re-execute work they already have) and any
+perturbation of any spec field must separate (else a store serves a
+stale result for a changed scenario).  Random specs and random
+single-field perturbations pin both directions, plus the injectivity
+of the underlying canonical byte encoding.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import ScenarioSpec, canonical_bytes
+from repro.sim.scenario import EventSpec, FirmwareRef, Observe, StopSpec
+
+
+# ---------------------------------------------------------------- strategies
+
+plain_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2 ** 63), max_value=2 ** 63),
+    st.floats(allow_nan=False),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+)
+
+plain_values = st.recursive(
+    plain_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4).map(tuple),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=10,
+)
+
+firmware_refs = st.builds(
+    FirmwareRef,
+    builder=st.sampled_from(["blinker", "sensor_logger", "syringe_pump"]),
+    kwargs=st.dictionaries(
+        st.sampled_from(["authorized", "cycles", "label"]),
+        st.one_of(st.booleans(), st.integers(0, 100), st.text(max_size=8)),
+        max_size=2,
+    ).map(lambda kwargs: tuple(sorted(kwargs.items()))),
+)
+
+event_specs = st.builds(
+    EventSpec,
+    kind=st.sampled_from(["button_press", "uart_rx", "write_word"]),
+    step=st.integers(0, 10_000),
+    args=st.tuples(st.integers(0, 0xFFFF)),
+)
+
+pair_tuples = st.dictionaries(
+    st.text(min_size=1, max_size=10),
+    st.one_of(st.booleans(), st.integers(-100, 100), st.text(max_size=8)),
+    max_size=3,
+)
+
+scenario_specs = st.builds(
+    ScenarioSpec,
+    name=st.text(min_size=1, max_size=20),
+    kind=st.just("pox"),
+    firmware=firmware_refs,
+    events=st.lists(event_specs, max_size=3).map(tuple),
+    mode=st.sampled_from(["pox", "execution_only", "execution_attest", "run"]),
+    post_steps=st.integers(0, 100),
+    max_steps=st.integers(1, 50_000),
+    stop=st.one_of(st.none(),
+                   st.builds(StopSpec, kind=st.just("steps"),
+                             value=st.integers(1, 1000))),
+    observe=st.lists(st.builds(Observe, name=st.sampled_from(
+        ["steps", "crashed", "exec_flag"])), max_size=2).map(tuple),
+    expect=pair_tuples,
+    meta=pair_tuples,
+)
+
+
+# ---------------------------------------------------------------- properties
+
+@settings(max_examples=60, deadline=None)
+@given(scenario_specs)
+def test_equal_specs_share_a_fingerprint(spec):
+    clone = dataclasses.replace(spec)
+    assert clone == spec
+    assert clone.fingerprint() == spec.fingerprint()
+
+
+@settings(max_examples=60, deadline=None)
+@given(scenario_specs, scenario_specs)
+def test_distinct_specs_separate(left, right):
+    # Equality of specs must be *equivalent* to fingerprint equality:
+    # random pairs are almost always distinct, so this direction is the
+    # collision check.
+    assert (left == right) == (left.fingerprint() == right.fingerprint())
+
+
+PERTURBATIONS = [
+    lambda spec: dataclasses.replace(spec, name=spec.name + "~"),
+    lambda spec: dataclasses.replace(spec, max_steps=spec.max_steps + 1),
+    lambda spec: dataclasses.replace(spec, post_steps=spec.post_steps + 1),
+    lambda spec: dataclasses.replace(
+        spec, events=spec.events + (EventSpec("button_press", step=99),)),
+    lambda spec: dataclasses.replace(
+        spec, expect=spec.expect + (("__probe__", True),)),
+    lambda spec: dataclasses.replace(
+        spec, meta=spec.meta + (("__probe__", 1),)),
+    lambda spec: dataclasses.replace(
+        spec, config_overrides=spec.config_overrides
+        + (("trace_limit", 123_456),)),
+    lambda spec: dataclasses.replace(
+        spec, firmware=FirmwareRef.of("busy_wait_pump")),
+]
+
+
+@settings(max_examples=60, deadline=None)
+@given(scenario_specs, st.integers(0, len(PERTURBATIONS) - 1))
+def test_any_perturbation_changes_the_fingerprint(spec, which):
+    perturbed = PERTURBATIONS[which](spec)
+    assert perturbed != spec
+    assert perturbed.fingerprint() != spec.fingerprint()
+
+
+@settings(max_examples=100, deadline=None)
+@given(plain_values, plain_values)
+def test_canonical_bytes_is_injective(left, right):
+    # The soundness direction: two values that *encode* the same must
+    # *be* the same -- an alias here would let two different scenarios
+    # share a store entry.  (The converse may legitimately fail --
+    # e.g. 0.0 and -0.0 compare equal but encode apart -- which only
+    # costs a conservative cache miss, never a wrong hit.)
+    if canonical_bytes(left) == canonical_bytes(right):
+        assert left == right
+
+
+@settings(max_examples=100, deadline=None)
+@given(plain_values)
+def test_canonical_bytes_is_deterministic(value):
+    assert canonical_bytes(value) == canonical_bytes(value)

@@ -119,4 +119,13 @@ class TestRetryPolicySchedule:
         assert not policy.bounded
         assert max(seen) <= policy.max_timeout
         if multiplier > 1.0:
+            # The cap is always reached eventually, but a multiplier
+            # barely above 1.0 can need far more than 64 attempts to
+            # climb 8x (1.03125**63 < 8) -- keep drawing until it lands.
+            import math
+
+            attempts_to_cap = math.ceil(
+                math.log(policy.max_timeout / base) / math.log(multiplier)) + 2
+            for _ in range(max(attempts_to_cap - 64, 0)):
+                seen.append(next(timeouts))
             assert seen[-1] == policy.max_timeout  # cap reached

@@ -1,0 +1,117 @@
+"""Unit tests for :class:`repro._lru.LruDict` (the bounded cache
+backing the linked-firmware and LTL-model caches)."""
+
+import threading
+
+import pytest
+
+from repro._lru import LruDict
+
+
+class TestBasics:
+    def test_put_get_roundtrip(self):
+        cache = LruDict(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert "a" in cache
+        assert len(cache) == 1
+
+    def test_get_missing_returns_default(self):
+        cache = LruDict(4)
+        assert cache.get("missing") is None
+        assert cache.get("missing", 42) == 42
+
+    def test_setdefault_keeps_first_winner(self):
+        cache = LruDict(4)
+        assert cache.setdefault("k", "first") == "first"
+        assert cache.setdefault("k", "second") == "first"
+        assert cache.get("k") == "first"
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LruDict(0)
+        with pytest.raises(ValueError):
+            LruDict(-3)
+
+    def test_clear_empties_and_bool(self):
+        cache = LruDict(2)
+        assert not cache
+        cache.put("a", 1)
+        assert cache
+        cache.clear()
+        assert not cache and len(cache) == 0
+
+
+class TestEviction:
+    def test_insert_beyond_capacity_evicts_oldest(self):
+        cache = LruDict(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.keys() == ["b", "c"]
+        assert cache.get("a") is None
+        assert cache.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = LruDict(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # "b" is now the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+
+    def test_setdefault_refreshes_recency(self):
+        cache = LruDict(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.setdefault("a", 999)  # hit: refresh, keep original value
+        cache.put("c", 3)
+        assert cache.get("a") == 1
+        assert "b" not in cache
+
+    def test_size_never_exceeds_capacity(self):
+        cache = LruDict(3)
+        for index in range(50):
+            cache.put(index, index)
+            assert len(cache) <= 3
+        assert cache.evictions == 47
+
+    def test_overwrite_is_not_an_eviction(self):
+        cache = LruDict(2)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.get("a") == 2
+        assert cache.evictions == 0
+
+
+class TestThreading:
+    def test_concurrent_setdefault_single_winner(self):
+        cache = LruDict(8)
+        winners = []
+        barrier = threading.Barrier(4)
+
+        def worker(value):
+            barrier.wait()
+            winners.append(cache.setdefault("shared", value))
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(winners)) == 1
+
+    def test_concurrent_puts_stay_bounded(self):
+        cache = LruDict(4)
+
+        def worker(base):
+            for index in range(200):
+                cache.put((base, index), index)
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(cache) <= 4
