@@ -11,8 +11,12 @@ any row's throughput regressed by more than ``--threshold`` (default
 
 Four gated **profiles**, selected with ``--profile``:
 
-* ``sim`` (default): ``BENCH_sim.json`` rows keyed by ``engine``,
-  rates from ``steps_per_sec``, normalized to the ``interp`` row.
+* ``sim`` (default): ``BENCH_sim.json`` rows keyed by ``label``
+  (``interp-idle``, ``blocks-memloop``, ...), rates from
+  ``steps_per_sec``, normalized to the ``interp-idle`` row -- so the
+  gate tracks the blocks-engine speedups per workload (idle loop,
+  memory-heavy loop, attestation inner loop) and the interpreter's
+  workload overhead ratios rather than absolute runner speed.
 * ``fleet``: ``BENCH_fleet.json`` rows keyed by ``label``, rates from
   ``exchanges_per_sec``, normalized to the single-device
   ``loopback-1`` row -- so the gate tracks how fleet/cluster
@@ -51,7 +55,9 @@ from pathlib import Path
 
 DEFAULT_THRESHOLD = 0.30
 
-#: The row used as the normalization denominator (sim profile).
+#: Default normalization denominator for the bare helpers
+#: (:func:`normalize` / :func:`compare`); the sim profile itself
+#: normalizes to its ``interp-idle`` labeled row.
 REFERENCE_ENGINE = "interp"
 
 #: Gated benchmark profiles: which artifact, which row field names the
@@ -63,9 +69,9 @@ PROFILES = {
     "sim": {
         "baseline": "BENCH_sim.baseline.json",
         "current": "BENCH_sim.json",
-        "key": "engine",
+        "key": "label",
         "value": "steps_per_sec",
-        "reference": REFERENCE_ENGINE,
+        "reference": "interp-idle",
     },
     "fleet": {
         "baseline": "BENCH_fleet.baseline.json",

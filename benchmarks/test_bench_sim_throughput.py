@@ -22,9 +22,12 @@ from __future__ import annotations
 
 import time
 
+from repro.device.mcu import Device, DeviceConfig
 from repro.firmware.blinker import blinker_firmware
 from repro.firmware.syringe_pump import PumpParameters, busy_wait_pump_firmware
 from repro.firmware.testbench import PoxTestbench, TestbenchConfig
+from repro.isa.assembler import Assembler
+from repro.peripherals.registers import PeripheralRegisters
 
 #: Steps per measurement pass.  Long enough that the per-pass overhead
 #: (building the bench, warming the cache) is negligible.
@@ -37,6 +40,14 @@ REQUIRED_SPEEDUP = 3.0
 #: Required speedup of the trace-compiled block engine over the
 #: interpreter (batched loop, trace off, like for like).
 REQUIRED_ENGINE_SPEEDUP = 2.0
+#: Required blocks-over-interp speedup on the memory-touching workloads.
+#: The v1 compiler (register-only Format I specialization, no
+#: superblocks/chaining) measured ~2.8x on the memory loop and ~2.5x on
+#: the attestation inner loop; v2 measures ~5x on both, so this floor
+#: both documents the v2 win (>= 1.5x over v1's ratio would be ~4.2x,
+#: gated precisely by compare_bench against the committed baseline) and
+#: keeps headroom against CI runner noise.
+REQUIRED_MEMORY_ENGINE_SPEEDUP = 3.0
 
 
 def _fresh_device(firmware, decode_cache, trace):
@@ -183,64 +194,166 @@ def _engine_device(firmware, engine):
     return device
 
 
-def _engine_rate(firmware, engine):
-    """Best steps/sec of *engine* over ``REPEATS`` batched runs, plus
-    the last device's engine/decode-cache statistics."""
+_STOP_WATCHDOG = "MOV #0x5A80, &0x%04X\n" % PeripheralRegisters.WDTCTL
+
+#: Memory-heavy copy/accumulate loop: autoincrement + indexed operands
+#: and memory-destination writeback on every iteration -- the shape the
+#: v1 block compiler punted to generic closures.
+MEMLOOP_SOURCE = _STOP_WATCHDOG + """
+outer:
+    MOV #0x0200, R5
+    MOV #0x0300, R6
+    MOV #16, R7
+copy:
+    MOV @R5+, R8
+    ADD R8, R9
+    MOV R8, 0(R6)
+    ADD #2, R6
+    DEC R7
+    JNE copy
+    JMP outer
+"""
+
+#: Attestation-shaped inner loop: streams a region through a running
+#: digest state (rotate/swap/xor/decimal-add mix, PUSH/POP spill) --
+#: Format II and DADD coverage on the silent path.
+ATTEST_SOURCE = _STOP_WATCHDOG + """
+    MOV #0x03FE, R1
+    MOV #0x1234, R7
+outer:
+    MOV #0x0200, R5
+    MOV #0x0240, R10
+chunk:
+    MOV @R5+, R6
+    ADD R6, R7
+    RRA R7
+    SWPB R6
+    XOR R6, R7
+    PUSH R7
+    DADD R6, R11
+    POP R11
+    CMP R10, R5
+    JNE chunk
+    JMP outer
+"""
+
+
+def _asm_device(source, engine):
+    """A trace-less raw device running bare assembly from 0xE000."""
+    device = Device(DeviceConfig(trace_enabled=False, exec_engine=engine))
+    image = Assembler().assemble(".section .text\n" + source,
+                                 section_addresses={".text": 0xE000})
+    image.write_to(device.memory)
+    device.ivt.set_reset_vector(0xE000)
+    device.reset()
+    return device
+
+
+def _rate_of(make_device):
+    """Best steps/sec over ``REPEATS`` batched runs, plus the last
+    device's engine/decode-cache statistics."""
     best = 0.0
     device = None
     for _ in range(REPEATS):
-        device = _engine_device(firmware, engine)
+        device = make_device()
         device.run_batch(1000)  # settle: boot code, block compilation
         started = time.perf_counter()
         device.run_batch(MEASURE_STEPS)
         elapsed = time.perf_counter() - started
         best = max(best, MEASURE_STEPS / elapsed)
+    assert not device.crashed, device.crash_reason
     return best, device.engine.stats(), device.decode_cache.stats()
 
 
-def test_block_engine_speedup(benchmark, table_printer, bench_json):
-    """The ``blocks`` engine gives >= 2x steps/sec over ``interp``.
+def _specialization_coverage(engine_stats):
+    """Fraction of compiled ops that got a specialized closure."""
+    specialized = engine_stats.get("specialized_ops", 0)
+    generic = engine_stats.get("generic_ops", 0)
+    total = specialized + generic
+    return specialized / total if total else None
 
-    Same firmware, same batched loop, trace off, monitor detached --
-    the only variable is the execution engine.  The differential suites
+
+#: The labeled workload matrix behind the ``BENCH_sim.json`` rows that
+#: ``compare_bench.py --profile sim`` gates (normalized to
+#: ``interp-idle``, so the gate tracks the engine speedups and the
+#: memory-workload overhead ratios, not absolute runner speed).
+_WORKLOADS = (
+    ("idle", lambda engine: _engine_device(
+        blinker_firmware(authorized=True), engine)),
+    ("memloop", lambda engine: _asm_device(MEMLOOP_SOURCE, engine)),
+    ("attest", lambda engine: _asm_device(ATTEST_SOURCE, engine)),
+)
+
+
+def test_block_engine_speedup(benchmark, table_printer, bench_json):
+    """The ``blocks`` engine beats ``interp`` on every workload row.
+
+    Same code image, same batched loop, trace off, no monitors -- the
+    only variable is the execution engine.  The differential suites
     (``tests/integration/test_engine_differential.py``,
     ``tests/property/test_property_engines.py``) prove the two are
     byte-identical; this test only measures speed and records the
-    ``BENCH_sim.json`` trajectory that ``benchmarks/compare_bench.py``
-    guards in CI.
+    labeled ``BENCH_sim.json`` rows (idle loop, memory-heavy loop,
+    attestation inner loop) that ``benchmarks/compare_bench.py``
+    guards in CI, along with the v2 compiler's specialization-coverage
+    ratio so coverage regressions show up in the artifacts.
     """
-    firmware = blinker_firmware(authorized=True)
     rates = {}
     json_rows = []
-    for engine in ("interp", "blocks"):
-        rate, engine_stats, cache_stats = _engine_rate(firmware, engine)
-        rates[engine] = rate
-        json_rows.append({
-            "engine": engine,
-            "steps_per_sec": rate,
-            "engine_stats": engine_stats,
-            "decode_cache": cache_stats,
-        })
-    speedup = rates["blocks"] / rates["interp"]
-    table_printer("Execution engines (blinker, batched, trace off)", [
-        {"engine": engine, "steps/sec": "%.0f" % rates[engine]}
-        for engine in ("interp", "blocks")
-    ] + [{"engine": "speedup", "steps/sec": "%.2fx" % speedup}])
+    coverage = {}
+    table_rows = []
+    for workload, make in _WORKLOADS:
+        for engine in ("interp", "blocks"):
+            label = "%s-%s" % (engine, workload)
+            rate, engine_stats, cache_stats = _rate_of(
+                lambda make=make, engine=engine: make(engine))
+            rates[label] = rate
+            row = {
+                "label": label,
+                "engine": engine,
+                "workload": workload,
+                "steps_per_sec": rate,
+                "engine_stats": engine_stats,
+                "decode_cache": cache_stats,
+            }
+            if engine == "blocks":
+                row["specialization_coverage"] = \
+                    _specialization_coverage(engine_stats)
+                coverage[workload] = row["specialization_coverage"]
+            json_rows.append(row)
+            table_rows.append({"row": label, "steps/sec": "%.0f" % rate})
+
+    speedups = {
+        workload: rates["blocks-%s" % workload] / rates["interp-%s" % workload]
+        for workload, _ in _WORKLOADS
+    }
+    for workload, _ in _WORKLOADS:
+        table_rows.append({"row": "speedup-%s" % workload,
+                           "steps/sec": "%.2fx" % speedups[workload]})
+    table_printer("Execution engines (batched, trace off)", table_rows)
+    for workload, ratio in sorted(coverage.items()):
+        print("specialization coverage (%s): %s" % (
+            workload, "%.1f%%" % (100.0 * ratio) if ratio is not None
+            else "n/a"))
 
     bench_json("BENCH_sim.json", {
         "benchmark": "execution_engine_throughput",
         "unit": "steps/sec",
-        "firmware": "blinker",
         "measure_steps": MEASURE_STEPS,
         "rows": json_rows,
-        "speedup": speedup,
+        "speedup": speedups["idle"],
+        "speedups": speedups,
+        "specialization_coverage": coverage,
     })
 
     benchmark.pedantic(
-        lambda: _engine_device(firmware, "blocks").run_batch(2000),
+        lambda: _engine_device(blinker_firmware(authorized=True),
+                               "blocks").run_batch(2000),
         rounds=1,
     )
-    assert speedup >= REQUIRED_ENGINE_SPEEDUP
+    assert speedups["idle"] >= REQUIRED_ENGINE_SPEEDUP
+    assert speedups["memloop"] >= REQUIRED_MEMORY_ENGINE_SPEEDUP
+    assert speedups["attest"] >= REQUIRED_MEMORY_ENGINE_SPEEDUP
 
 
 def test_throughput_trajectory(benchmark):

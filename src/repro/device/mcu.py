@@ -50,6 +50,9 @@ class DeviceConfig:
     ``exec_engine`` names the execution engine driving the step loop
     (see :mod:`repro.cpu.engine`); ``None`` defers to
     ``set_engine``/``REPRO_EXEC_BACKEND``/the ``"interp"`` default.
+    ``blocks_superblocks`` controls the ``blocks`` engine's superblock
+    compilation + block chaining (``None`` defers to the
+    ``REPRO_BLOCKS_SUPERBLOCKS`` environment knob, default on).
     """
 
     layout: MemoryLayout = field(default_factory=MemoryLayout.default)
@@ -58,6 +61,7 @@ class DeviceConfig:
     decode_cache_enabled: bool = True
     trace_limit: Optional[int] = None
     exec_engine: Optional[str] = None
+    blocks_superblocks: Optional[bool] = None
 
     def resolved_stack_top(self):
         """Return the effective initial stack pointer."""

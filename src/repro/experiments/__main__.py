@@ -9,6 +9,8 @@ Runs the experiment campaigns and prints the consolidated report::
     python -m repro.experiments --json report.json   # machine-readable export
     python -m repro.experiments --store results/     # incremental re-runs
     python -m repro.experiments --stream             # per-scenario progress
+    python -m repro.experiments --fail-fast          # stop on first failure
+    python -m repro.experiments --store results/ --store-prune-age 86400
 
 Unknown flags are rejected with exit code 2 (argparse); a failing
 experiment exits 1.
@@ -106,6 +108,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="print one line per scenario as it completes (streaming "
              "completion order, not spec order)",
     )
+    parser.add_argument(
+        "--fail-fast", action="store_true", dest="fail_fast",
+        help="abort each campaign at the first failing scenario "
+             "(serial/thread/process backends): in-flight workers are "
+             "torn down and the remaining scenarios are skipped",
+    )
+    parser.add_argument(
+        "--store-prune-entries", type=int, default=None, metavar="N",
+        dest="store_prune_entries",
+        help="with --store: after the run, keep only the N most "
+             "recently written store entries (oldest dropped first)",
+    )
+    parser.add_argument(
+        "--store-prune-age", type=float, default=None, metavar="SECS",
+        dest="store_prune_age",
+        help="with --store: after the run, drop store entries older "
+             "than SECS seconds",
+    )
     return parser
 
 
@@ -159,6 +179,22 @@ def main(argv=None):
     if args.no_reuse and args.store_dir is None:
         print("--no-reuse requires --store", file=sys.stderr)
         return 2
+    if args.fail_fast and args.backend == "remote":
+        print("--fail-fast applies to the serial/thread/process backends",
+              file=sys.stderr)
+        return 2
+    if args.store_prune_entries is not None and args.store_prune_entries < 0:
+        print("--store-prune-entries must be >= 0", file=sys.stderr)
+        return 2
+    if args.store_prune_age is not None and args.store_prune_age < 0:
+        print("--store-prune-age must be >= 0", file=sys.stderr)
+        return 2
+    prune_requested = (args.store_prune_entries is not None
+                       or args.store_prune_age is not None)
+    if prune_requested and args.store_dir is None:
+        print("--store-prune-entries/--store-prune-age require --store",
+              file=sys.stderr)
+        return 2
 
     store = None
     if args.store_dir is not None:
@@ -185,7 +221,8 @@ def main(argv=None):
                               # `store is not None`, not truthiness: an
                               # *empty* ResultStore is falsy (__len__).
                               on_result=on_result
-                              if (args.stream or store is not None) else None)
+                              if (args.stream or store is not None) else None,
+                              fail_fast=args.fail_fast)
     overrides = None
     if args.shards is not None or args.heartbeat is not None:
         overrides = {"FLEET": functools.partial(
@@ -219,6 +256,12 @@ def main(argv=None):
               "(%d unrepresentable skipped) in %s"
               % (served["cached"], served["executed"], stats["writes"],
                  stats["skipped"], store.root))
+        if prune_requested:
+            pruned = store.prune(max_entries=args.store_prune_entries,
+                                 max_age_seconds=args.store_prune_age)
+            print("result store pruned: %d entr%s removed, %d kept in %s"
+                  % (pruned, "y" if pruned == 1 else "ies", len(store),
+                     store.root))
 
     if args.json_path:
         runners.write_json(results, args.json_path)

@@ -88,6 +88,7 @@ class TestbenchConfig:
     decode_cache_enabled: bool = True
     trace_limit: Optional[int] = None
     exec_engine: Optional[str] = None
+    blocks_superblocks: Optional[bool] = None
     #: Reuse linked firmware images across testbenches built from the
     #: same source/ISRs/ER base (per-process cache; the image is
     #: read-only after linking).  Disable to force a fresh link.
@@ -119,6 +120,7 @@ class PoxTestbench:
             decode_cache_enabled=self.config.decode_cache_enabled,
             trace_limit=self.config.trace_limit,
             exec_engine=self.config.exec_engine,
+            blocks_superblocks=self.config.blocks_superblocks,
         ))
         self.linker = ErLinker(layout=self.device.layout, er_base=self.config.er_base)
         self.firmware = self._linked_firmware(firmware)

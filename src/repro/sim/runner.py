@@ -140,6 +140,10 @@ class CampaignResult:
     #: Both stay 0 when the campaign ran without a store.
     store_hits: int = 0
     store_misses: int = 0
+    #: ``True`` when a ``fail_fast`` campaign stopped at the first
+    #: failing result; ``results`` then holds only the scenarios that
+    #: finished before the abort (still in spec order).
+    aborted: bool = False
 
     def __iter__(self):
         return iter(self.results)
@@ -430,13 +434,21 @@ class CampaignRunner:
     as it completes (hits and misses alike), from :meth:`run` and
     :meth:`run_iter` both -- the streaming hook the CLI's ``--stream``
     uses.
+
+    ``fail_fast=True`` (serial/thread/process backends) aborts dispatch
+    at the first result with ``ok=False``: in-flight work is torn down
+    (the pool backends terminate their workers), the returned
+    :class:`CampaignResult` carries ``aborted=True`` and holds only the
+    scenarios that finished -- so fuzzing-shaped sweeps stop burning
+    the rest of the campaign once a failure is in hand.
     """
 
     def __init__(self, backend: str = "serial", jobs: Optional[int] = None,
                  warm: bool = False, engine: Optional[str] = None,
                  heartbeat: Optional[float] = None,
                  store=None, reuse: bool = True,
-                 on_result: Optional[Callable[[ScenarioResult], None]] = None):
+                 on_result: Optional[Callable[[ScenarioResult], None]] = None,
+                 fail_fast: bool = False):
         if backend not in BACKENDS:
             raise ValueError("backend must be one of %s, got %r"
                              % (", ".join(BACKENDS), backend))
@@ -448,6 +460,10 @@ class CampaignRunner:
         if heartbeat is not None and backend != "remote":
             raise ValueError("heartbeats apply to the remote backend only, "
                              "not %r" % backend)
+        if fail_fast and backend == "remote":
+            raise ValueError("fail-fast applies to the serial/thread/process "
+                             "backends; the remote dispatcher has no abort "
+                             "path yet")
         if engine is not None:
             # Imported lazily to keep the campaign engine importable
             # without the simulator stack at the top of the module.
@@ -470,6 +486,7 @@ class CampaignRunner:
         self.store = store
         self.reuse = reuse
         self.on_result = on_result
+        self.fail_fast = fail_fast
 
     def _spec_with_engine(self, spec: ScenarioSpec) -> ScenarioSpec:
         if spec.kind != "pox":
@@ -520,6 +537,7 @@ class CampaignRunner:
         results: List[Optional[ScenarioResult]] = [None] * len(specs)
         fingerprints: Optional[List[str]] = None
         hits = 0
+        aborted = False
         pending = list(range(len(specs)))
         if self.store is not None:
             fingerprints = [spec.fingerprint() for spec in specs]
@@ -531,14 +549,35 @@ class CampaignRunner:
                         results[index] = cached
                         hits += 1
                         yield self._emit(cached)
+                        if self.fail_fast and not cached.ok:
+                            # A cached failure is a failure: nothing
+                            # pending has been dispatched yet, so the
+                            # abort is free.
+                            aborted = True
+                            pending = []
+                            break
                     else:
                         pending.append(index)
-        for index, result in self._execute_iter(
-                [(index, specs[index]) for index in pending]):
-            results[index] = result
-            if self.store is not None:
-                self.store.put(fingerprints[index], result)
-            yield self._emit(result)
+        if not aborted:
+            completions = self._execute_iter(
+                [(index, specs[index]) for index in pending])
+            for index, result in completions:
+                results[index] = result
+                if self.store is not None:
+                    self.store.put(fingerprints[index], result)
+                yield self._emit(result)
+                if self.fail_fast and not result.ok:
+                    # Tear down in-flight dispatch: closing the
+                    # generator raises GeneratorExit at its yield
+                    # point, which exits the pool context managers
+                    # (terminating their workers).
+                    completions.close()
+                    aborted = True
+                    break
+        if aborted:
+            # Spec order, completed scenarios only; unfinished slots
+            # are dropped rather than padded with placeholders.
+            results = [result for result in results if result is not None]
         return CampaignResult(
             results=results,
             backend=self.backend,
@@ -548,6 +587,7 @@ class CampaignRunner:
             # Store accounting only makes sense when a store took part;
             # a store-less campaign "missed" nothing.
             store_misses=len(pending) if self.store is not None else 0,
+            aborted=aborted,
         )
 
     def _emit(self, result: ScenarioResult) -> ScenarioResult:

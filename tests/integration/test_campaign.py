@@ -280,3 +280,87 @@ class TestEventSpecKinds:
         )
         outcome = CampaignRunner().run([spec])
         assert outcome.all_ok(), outcome[0].failure_summary()
+
+
+class TestFailFast:
+    """``fail_fast=True`` aborts dispatch at the first ``ok=False``."""
+
+    def _ltl_specs(self, count):
+        return [
+            ScenarioSpec(name="ltl-ok-%d" % index, kind="ltl",
+                         ltl_property="vrased-key-no-dma",
+                         expect={"holds": True})
+            for index in range(count)
+        ]
+
+    def test_remote_backend_rejected(self):
+        with pytest.raises(ValueError, match="fail-fast"):
+            CampaignRunner(backend="remote", fail_fast=True)
+
+    def test_serial_stops_at_first_failure(self):
+        specs = self._ltl_specs(1) + [
+            ScenarioSpec(name="broken",
+                         firmware=FirmwareRef.of("no-such-firmware")),
+        ] + self._ltl_specs(3)[1:]
+        outcome = CampaignRunner(fail_fast=True).run(specs)
+        assert outcome.aborted
+        assert [result.name for result in outcome] == ["ltl-ok-0", "broken"]
+        assert not outcome.all_ok()
+        assert [f.name for f in outcome.failures()] == ["broken"]
+
+    def test_serial_clean_run_is_not_aborted(self):
+        specs = self._ltl_specs(3)
+        outcome = CampaignRunner(fail_fast=True).run(specs)
+        assert not outcome.aborted
+        assert len(outcome) == len(specs)
+        assert outcome.all_ok()
+
+    def test_parallel_backends_abort_and_stay_spec_ordered(self):
+        broken = ScenarioSpec(name="broken",
+                              firmware=FirmwareRef.of("no-such-firmware"))
+        specs = [broken] + self._ltl_specs(6)
+        for backend in ("thread", "process"):
+            outcome = CampaignRunner(backend=backend, jobs=2,
+                                     fail_fast=True).run(specs)
+            assert outcome.aborted
+            assert not outcome.all_ok()
+            # Spec order among whatever completed before the abort.
+            names = [result.name for result in outcome]
+            expected_order = [spec.name for spec in specs
+                              if spec.name in set(names)]
+            assert names == expected_order
+            assert "broken" in names
+
+    def test_streamed_results_stop_after_failure(self):
+        specs = self._ltl_specs(1) + [
+            ScenarioSpec(name="broken",
+                         firmware=FirmwareRef.of("no-such-firmware")),
+        ] + self._ltl_specs(2)[1:]
+        seen = []
+        runner = CampaignRunner(fail_fast=True, on_result=seen.append)
+        iterator = runner.run_iter(specs)
+        while True:
+            try:
+                next(iterator)
+            except StopIteration as finished:
+                outcome = finished.value
+                break
+        assert [result.name for result in seen] == ["ltl-ok-0", "broken"]
+        assert outcome.aborted
+
+    def test_cached_failure_aborts_before_dispatch(self, tmp_path):
+        # An expectation mismatch (ok=False, error=None) is cacheable;
+        # a fail-fast re-run over the same store must abort on the hit
+        # without executing anything.
+        failing = ScenarioSpec(name="benign-expected-to-fail", kind="attack",
+                               attack="benign-baseline",
+                               expect={"detected": False})
+        cold = CampaignRunner(store=tmp_path).run([failing])
+        assert not cold.all_ok() and cold[0].error is None
+        warm = CampaignRunner(store=tmp_path,
+                              fail_fast=True).run([failing] + self._ltl_specs(2))
+        assert warm.aborted
+        assert warm.store_hits == 1
+        assert warm.store_misses == 0
+        assert [result.name for result in warm] == ["benign-expected-to-fail"]
+        assert warm[0].cached

@@ -211,3 +211,119 @@ class TestSelfModifyingCode:
         # rewrite, three more passes of 20 iterations each ran.
         regs = states["blocks"]["registers"]
         assert regs[7] == 4
+
+
+# The loop body lives *after* an unconditional jump, so with
+# superblocks enabled the engine compiles prologue + jump + body into
+# ONE multi-span block -- and the rewrite lands in the middle of its
+# second span, not in the span the block started in.
+SUPERBLOCK_REWRITE_SOURCE = STOP_WATCHDOG + """
+CLR R7
+outer:
+CLR R6
+JMP body
+body:
+INC R6
+CMP #40, R6
+JL body
+MOV #0x%04X, &body
+INC R7
+CMP #4, R7
+JL outer
+done:
+JMP done
+"""
+
+
+# `loop` ends in CALL #sub: a block with a statically known exit that
+# is never absorbed (the push writes memory), so the engine *chains*
+# into the compiled block at `sub` -- whose body is then rewritten
+# mid-run, which must sever the cached chain via the valid=False latch.
+CHAINED_TARGET_REWRITE_SOURCE = STOP_WATCHDOG + """
+MOV #0x03FE, R1
+CLR R6
+CLR R7
+loop:
+CALL #sub
+INC R7
+CMP #30, R7
+JL loop
+MOV #0x%04X, &sub
+CLR R7
+again:
+CALL #sub
+INC R7
+CMP #30, R7
+JL again
+done:
+JMP done
+sub:
+INC R6
+RET
+"""
+
+
+# RETI pops an SR with CPUOFF (0x0010) set and returns into the hot
+# loop: the interpreter goes to sleep at that instant, and the block
+# engine must neither re-run the loop block nor chain onward.
+RETI_CPUOFF_SOURCE = STOP_WATCHDOG + """
+MOV #0x03FE, R1
+loop:
+INC R6
+CMP #10, R6
+JL loop
+PUSH #loop
+PUSH #0x0010
+RETI
+"""
+
+
+class TestSuperblockSelfModification:
+    def _run_differential(self, source, chunks=(137, 863)):
+        states = {}
+        engines = {}
+        for engine in ENGINES_UNDER_TEST:
+            device = Device(DeviceConfig(trace_enabled=False,
+                                         exec_engine=engine))
+            _load(device, source)
+            for chunk in chunks:
+                device.run_batch(chunk)
+            states[engine] = _state(device)
+            engines[engine] = device.engine
+        assert states["blocks"] == states["interp"]
+        assert not states["interp"]["crashed"]
+        return engines["blocks"].stats(), states["blocks"]
+
+    def test_rewriting_the_middle_of_a_superblock(self):
+        add2_word = _encode_single("ADD #2, R6")
+        stats, state = self._run_differential(
+            SUPERBLOCK_REWRITE_SOURCE % add2_word)
+        assert stats["compiled"] > 0
+        assert stats["block_runs"] > 0
+        assert stats["block_invalidations"] > 0
+        # The rewrite really switched the loop to counting by two.
+        assert state["registers"][7] == 4
+
+    def test_rewriting_the_target_of_a_chained_exit(self):
+        add2_word = _encode_single("ADD #2, R6")
+        stats, state = self._run_differential(
+            CHAINED_TARGET_REWRITE_SOURCE % add2_word, chunks=(151, 849))
+        assert stats["compiled"] > 0
+        assert stats["block_invalidations"] > 0
+        # CALL #sub has a static exit: the engine must actually have
+        # chained block-to-block before the rewrite severed the chain.
+        # (Chaining rides the superblocks knob, which the CI fallback
+        # legs export off -- the differential identity above is the
+        # property that must hold in every configuration.)
+        if stats["superblocks"]:
+            assert stats["chained_exits"] > 0
+        # 30 calls counting by one, then 30 counting by two.
+        assert state["registers"][6] == 30 + 60
+
+    def test_reti_restoring_cpuoff_stops_the_chain(self):
+        stats, state = self._run_differential(RETI_CPUOFF_SOURCE,
+                                              chunks=(137, 363))
+        assert stats["compiled"] > 0
+        # Both engines agree (asserted above) and the device is asleep:
+        # PC parked on the loop entry with CPUOFF latched in SR.
+        assert state["registers"][2] & 0x0010

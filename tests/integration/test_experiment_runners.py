@@ -143,6 +143,54 @@ class TestCommandLine:
         assert main(["FLEET", "--heartbeat", "0"]) == 2
         assert "--heartbeat must be > 0" in capsys.readouterr().err
 
+    def test_fail_fast_flag_accepted(self, capsys):
+        assert main(["E7", "--fail-fast"]) == 0
+        assert "All 1 experiments" in capsys.readouterr().out
+
+    def test_fail_fast_requires_local_backend(self, capsys):
+        assert main(["E7", "--backend", "remote", "--fail-fast"]) == 2
+        assert "--fail-fast" in capsys.readouterr().err
+
+    def test_store_prune_flags_require_store(self, capsys):
+        assert main(["E7", "--store-prune-entries", "5"]) == 2
+        assert "require --store" in capsys.readouterr().err
+        assert main(["E7", "--store-prune-age", "60"]) == 2
+        assert "require --store" in capsys.readouterr().err
+
+    def test_negative_store_prune_values_rejected(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["E7", "--store", store,
+                     "--store-prune-entries", "-1"]) == 2
+        assert "--store-prune-entries" in capsys.readouterr().err
+        assert main(["E7", "--store", store,
+                     "--store-prune-age", "-1"]) == 2
+        assert "--store-prune-age" in capsys.readouterr().err
+
+    def test_store_prune_gc_prints_summary(self, capsys, tmp_path):
+        from repro.sim import ResultStore
+
+        store = str(tmp_path / "store")
+        assert main(["E7", "--store", store]) == 0
+        populated = len(ResultStore(store))
+        assert populated > 0
+        capsys.readouterr()
+        assert main(["E7", "--store", store,
+                     "--store-prune-entries", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "result store pruned: %d entr" % populated in out
+        assert ", 0 kept in" in out
+        assert len(ResultStore(store)) == 0
+
+    def test_store_prune_age_keeps_fresh_entries(self, capsys, tmp_path):
+        from repro.sim import ResultStore
+
+        store = str(tmp_path / "store")
+        assert main(["E7", "--store", store,
+                     "--store-prune-age", "3600"]) == 0
+        out = capsys.readouterr().out
+        assert "result store pruned: 0 entries removed" in out
+        assert len(ResultStore(store)) > 0
+
     def test_cli_reads_the_registry_live(self, capsys, monkeypatch):
         def extra_runner(campaign=None):
             return ExperimentResult("E10", "registered after import")

@@ -12,7 +12,11 @@ whatever happens next (including crashing identically).
 
 from hypothesis import given, settings, strategies as st
 
-from test_property_isa import instructions
+from test_property_isa import (
+    FORMAT_I_OPCODES,
+    FORMAT_II_OPCODES,
+    instructions,
+)
 
 from repro.device.mcu import Device, DeviceConfig
 from repro.isa.encoding import encode_instruction
@@ -91,6 +95,47 @@ register_files = st.lists(
     st.integers(min_value=0, max_value=0xFFFF), min_size=12, max_size=12)
 
 
+@st.composite
+def memory_heavy_instructions(draw):
+    """Instruction strategy biased toward the v2 compiler's new
+    closures: memory-destination Format I (absolute/indexed writeback,
+    DADD included) and Format II (RRC/RRA/SWPB/SXT/PUSH over register,
+    absolute, indexed, indirect and autoincrement operands).  A slice
+    of the unbiased strategy keeps jumps and register shapes in the
+    mix so blocks still form and terminate."""
+    registers = st.integers(min_value=4, max_value=15)
+    addresses = st.integers(min_value=0x0200, max_value=0x03FE)
+    offsets = st.integers(min_value=0, max_value=0x00FE)
+    memory_destinations = st.one_of(
+        addresses.map(Operand.absolute),
+        st.tuples(registers, offsets).map(
+            lambda pair: Operand.indexed(*pair)),
+    )
+    rich_sources = st.one_of(
+        memory_destinations,
+        registers.map(lambda r: Operand.indirect(r)),
+        registers.map(lambda r: Operand.indirect(r, autoincrement=True)),
+        st.integers(min_value=0, max_value=0xFFFF).map(Operand.imm),
+        registers.map(Operand.reg),
+    )
+    shape = draw(st.sampled_from(
+        ("fi-mem", "fi-mem", "fii", "fii", "unbiased")))
+    if shape == "fi-mem":
+        return Instruction(
+            opcode=draw(st.sampled_from(FORMAT_I_OPCODES)),
+            src=draw(rich_sources),
+            dst=draw(memory_destinations),
+            byte_mode=draw(st.booleans()),
+        )
+    if shape == "fii":
+        return Instruction(
+            opcode=draw(st.sampled_from(FORMAT_II_OPCODES)),
+            src=draw(rich_sources),
+            byte_mode=draw(st.booleans()),
+        )
+    return draw(instructions())
+
+
 class TestRandomProgramsIdentical:
     @given(
         body=st.lists(instructions(), min_size=1, max_size=16),
@@ -98,6 +143,18 @@ class TestRandomProgramsIdentical:
     )
     @settings(max_examples=60, deadline=None)
     def test_both_engines_reach_identical_state(self, body, register_values):
+        states = _run_both(_program_bytes(body), register_values)
+        assert states["blocks"] == states["interp"]
+
+
+class TestMemoryHeavyProgramsIdentical:
+    @given(
+        body=st.lists(memory_heavy_instructions(), min_size=1, max_size=16),
+        register_values=register_files,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_memory_heavy_programs_reach_identical_state(
+            self, body, register_values):
         states = _run_both(_program_bytes(body), register_values)
         assert states["blocks"] == states["interp"]
 

@@ -13,11 +13,14 @@ _spec.loader.exec_module(compare_bench)
 
 
 def _payload(interp, blocks):
+    """A minimal labeled sim-profile artifact (idle-workload rows)."""
     return {
         "benchmark": "execution_engine_throughput",
         "rows": [
-            {"engine": "interp", "steps_per_sec": interp},
-            {"engine": "blocks", "steps_per_sec": blocks},
+            {"label": "interp-idle", "engine": "interp",
+             "steps_per_sec": interp},
+            {"label": "blocks-idle", "engine": "blocks",
+             "steps_per_sec": blocks},
         ],
     }
 
@@ -102,6 +105,17 @@ class TestMain:
     def test_committed_baseline_is_loadable(self):
         rates = compare_bench.load_rates(compare_bench.DEFAULT_BASELINE)
         assert "interp" in rates and "blocks" in rates
+
+    def test_committed_baseline_has_labeled_workload_rows(self):
+        profile = compare_bench.PROFILES["sim"]
+        assert profile["reference"] == "interp-idle"
+        rates = compare_bench.load_rates(
+            compare_bench.DEFAULT_BASELINE,
+            key=profile["key"], value=profile["value"])
+        for label in ("interp-idle", "blocks-idle",
+                      "interp-memloop", "blocks-memloop",
+                      "interp-attest", "blocks-attest"):
+            assert label in rates, label
 
 
 def _fleet_payload(loopback1, cluster2):

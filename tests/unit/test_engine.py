@@ -255,8 +255,28 @@ class TestCompiledBlockLifecycle:
         assert stats["engine"] == "blocks"
         assert stats["compiled"] >= 1
         assert stats["block_runs"] >= 1
+        assert stats["specialized_ops"] >= 1
+        assert stats["generic_ops"] >= 0
+        assert stats["chained_exits"] >= 0
+        assert stats["superblocks"] in (True, False)
         interp_stats = silent_device("interp").engine.stats()
         assert interp_stats == {"engine": "interp"}
+
+    def test_hot_loop_chains_exits(self, monkeypatch):
+        # `JMP loop` has a statically-known target: the v2 engine should
+        # hop block-to-block inside one silent chunk instead of paying a
+        # dict lookup per iteration.  (Pinned on: the CI fallback legs
+        # run this file with the knob exported off.)
+        monkeypatch.delenv(engine_module.SUPERBLOCKS_ENV, raising=False)
+        device = self._hot_device()
+        assert device.engine.stats()["chained_exits"] >= 1
+
+    def test_specialization_counters_split_compile_results(self):
+        device = self._hot_device()
+        stats = device.engine.stats()
+        blocks = device.engine._blocks.values()
+        assert stats["specialized_ops"] + stats["generic_ops"] \
+            == sum(len(block.ops) for block in blocks)
 
     def test_decode_cache_aggregate_stats(self):
         device = self._hot_device()
@@ -264,3 +284,61 @@ class TestCompiledBlockLifecycle:
         assert totals["caches"] >= 1
         assert totals["hits"] >= device.decode_cache.hits >= 1
         assert 0.0 <= totals["hit_rate"] <= 1.0
+
+
+class TestSuperblockKnob:
+    """`REPRO_BLOCKS_SUPERBLOCKS` / `DeviceConfig.blocks_superblocks`."""
+
+    COUNTING_LOOP = STOP_WATCHDOG + (
+        "loop:\n"
+        "INC R6\n"
+        "JMP loop\n"
+    )
+
+    def _hot(self, device):
+        load_program(device, self.COUNTING_LOOP)
+        device.run_batch(200)
+        return device.engine
+
+    def test_superblocks_on_by_default(self, monkeypatch):
+        monkeypatch.delenv(engine_module.SUPERBLOCKS_ENV, raising=False)
+        monkeypatch.setattr(engine_module, "MAX_BLOCK_OPS", 64)
+        engine = self._hot(silent_device("blocks"))
+        stats = engine.stats()
+        assert stats["superblocks"] is True
+        # The unconditional back-edge is absorbed: the loop body unrolls
+        # across the JMP instead of ending the block at it.
+        assert any(len(block.ops) > 2 for block in engine._blocks.values())
+
+    @pytest.mark.parametrize("value", ["0", "false", "OFF", "No"])
+    def test_env_knob_disables_superblocks(self, monkeypatch, value):
+        monkeypatch.setenv(engine_module.SUPERBLOCKS_ENV, value)
+        engine = self._hot(silent_device("blocks"))
+        stats = engine.stats()
+        assert stats["superblocks"] is False
+        # Every block now ends at its terminator: INC + JMP at most.
+        assert all(len(block.ops) <= 2 for block in engine._blocks.values())
+        # The knob is the conservative v1-shape fallback: block chaining
+        # rides on the same switch, so every exit returns to the driver.
+        assert stats["chained_exits"] == 0
+
+    def test_device_config_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(engine_module.SUPERBLOCKS_ENV, "0")
+        device = Device(DeviceConfig(trace_enabled=False,
+                                     exec_engine="blocks",
+                                     blocks_superblocks=True))
+        engine = self._hot(device)
+        assert engine.stats()["superblocks"] is True
+        device = Device(DeviceConfig(trace_enabled=False,
+                                     exec_engine="blocks",
+                                     blocks_superblocks=False))
+        monkeypatch.delenv(engine_module.SUPERBLOCKS_ENV, raising=False)
+        assert self._hot(device).stats()["superblocks"] is False
+
+    def test_max_ops_env_floor_is_one(self, monkeypatch):
+        monkeypatch.setenv(engine_module.MAX_OPS_ENV, "-3")
+        assert engine_module._max_block_ops_default() == 1
+        monkeypatch.setenv(engine_module.MAX_OPS_ENV, "not-a-number")
+        assert engine_module._max_block_ops_default() == 64
+        monkeypatch.delenv(engine_module.MAX_OPS_ENV, raising=False)
+        assert engine_module._max_block_ops_default() == 64
