@@ -63,17 +63,27 @@ def write_bench_json(name, payload):
 
     Every payload (and every entry of its ``rows``, if present) is
     stamped with the active execution engine, and the payload with the
-    process-wide decode-cache statistics -- a bench number without the
-    engine that produced it is unreproducible.  Rows that already carry
-    an ``engine`` column (for example an engine-comparison sweep) keep
-    their own value.
+    process-wide decode-cache statistics and the full metrics-registry
+    snapshot -- a bench number without the telemetry that produced it
+    is unreproducible.  The engine and decode-cache stamps are *views
+    of that snapshot* (the registry's collectors are the one source of
+    truth; the old hand-stamped dicts are gone): ``decode_cache`` is
+    the snapshot's ``cache.*`` gauges with the prefix stripped.  Rows
+    that already carry an ``engine`` column (for example an
+    engine-comparison sweep) keep their own value.
     """
-    from repro.cpu.decode_cache import DecodeCache
     from repro.cpu.engine import engine_name
+    from repro.obs.metrics import get_registry
 
+    snapshot = get_registry().snapshot()
     payload = dict(payload)
     payload.setdefault("engine", engine_name())
-    payload.setdefault("decode_cache", DecodeCache.aggregate_stats())
+    payload.setdefault("decode_cache", {
+        key[len("cache."):]: value
+        for key, value in snapshot["gauges"].items()
+        if key.startswith("cache.")
+    })
+    payload.setdefault("telemetry", snapshot)
     if isinstance(payload.get("rows"), list):
         payload["rows"] = [
             dict(row, engine=row.get("engine", engine_name()))

@@ -168,6 +168,65 @@ def cluster_demo():
                  stats.accepted, stats.p99_seconds * 1e3))
 
 
+def telemetry_demo():
+    """The telemetry spine: one registry, one tracer, every layer.
+
+    ``repro.obs`` gives the whole stack a shared metrics registry
+    (counters/gauges/histograms under dotted names) and a tracer whose
+    spans cross process boundaries and reassemble into one tree.  The
+    campaign below publishes ``campaign.*`` counters and spans as it
+    runs; the engine/decode-cache/service families arrive at
+    *snapshot* time through collectors, so the simulation hot path
+    pays nothing until someone asks.  The CLI equivalent is
+    ``python -m repro.experiments E9 --telemetry DIR``.
+    """
+    import json
+    import tempfile
+
+    from repro.obs import (
+        MetricsRegistry,
+        Tracer,
+        export_telemetry,
+        render_tree,
+        set_tracer,
+        use_registry,
+    )
+
+    print("\n--- telemetry (repro.obs) ---")
+    specs = [
+        ScenarioSpec(
+            name="telemetry-blinker-%s" % architecture,
+            firmware=FirmwareRef.of("blinker", authorized=True),
+            config_overrides={"architecture": architecture},
+            events=(EventSpec("button_press", step=6),),
+            observe=(Observe("accepted"),),
+        )
+        for architecture in ("asap", "apex")
+    ]
+    tracer = Tracer()
+    previous = set_tracer(tracer)
+    try:
+        with use_registry(MetricsRegistry()) as registry:
+            CampaignRunner().run(specs)
+            snapshot = registry.snapshot()
+    finally:
+        set_tracer(previous)
+    print("campaign.scenarios =", snapshot["counters"]["campaign.scenarios"])
+    print("scenario p99       = %.3fms" % (
+        snapshot["histograms"]["campaign.scenario_seconds"]["p99"] * 1e3))
+    print("engine gauges      =", sorted(
+        name for name in snapshot["gauges"] if name.startswith("engine."))[:3])
+    print("span tree:")
+    print(render_tree(tracer.finished_spans()))
+    with tempfile.TemporaryDirectory() as directory:
+        path = export_telemetry(directory, registry=MetricsRegistry(),
+                                tracer=tracer)
+        records = [json.loads(line) for line in open(path, encoding="utf-8")]
+        print("exported %d JSONL records (%d spans) to telemetry.jsonl"
+              % (len(records),
+                 sum(1 for record in records if record["record"] == "span")))
+
+
 def main():
     # The attestation HMAC runs on a pluggable SHA-256 backend: "fast"
     # (hashlib, the default) or "pure" (the in-tree reference, ~1900x
@@ -227,6 +286,7 @@ def main():
     store_demo()
     engine_demo()
     cluster_demo()
+    telemetry_demo()
 
 
 if __name__ == "__main__":

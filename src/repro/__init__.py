@@ -89,6 +89,14 @@ from repro.sim import (
     run_scenario,
     shutdown_warm_pools,
 )
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    export_telemetry,
+    get_registry,
+    get_tracer,
+    use_registry,
+)
 # The fleet service layer (repro.net) is re-exported lazily via
 # __getattr__ below: eagerly importing it here would drag asyncio and
 # the whole service stack into every `import repro` -- including the
@@ -194,6 +202,12 @@ __all__ = [
     "StopSpec",
     "run_scenario",
     "shutdown_warm_pools",
+    "MetricsRegistry",
+    "Tracer",
+    "export_telemetry",
+    "get_registry",
+    "get_tracer",
+    "use_registry",
     "Fleet",
     "FleetReport",
     "LinkConditions",

@@ -30,7 +30,6 @@ from repro.cluster.hashring import HashRing
 from repro.cluster.metrics import (
     BackpressureGate,
     ClusterReport,
-    LatencyRecorder,
     ShardStats,
 )
 from repro.cluster.registry import WorkerRecord, WorkerRegistry
@@ -42,7 +41,6 @@ __all__ = [
     "ClusterFleet",
     "ClusterReport",
     "HashRing",
-    "LatencyRecorder",
     "RetryPolicy",
     "RpcChannel",
     "RpcTimeout",

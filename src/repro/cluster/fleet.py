@@ -302,4 +302,8 @@ class ClusterFleet:
             stats.accepted = tally["accepted"]
             stats.rejected = tally["rejected"]
             stats.timed_out = tally["timed_out"]
+        # The report *is* the registry view: project it so a snapshot
+        # taken after the run carries cluster.* alongside engine.*,
+        # store.* and service.* metrics.
+        report.publish()
         return report

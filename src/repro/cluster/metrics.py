@@ -5,6 +5,14 @@ verdict mix, challenge-table occupancy, retry/eviction counters and
 p50/p99 exchange latency, folded into one :class:`ClusterReport` --
 the sharded counterpart of :class:`~repro.net.fleet.FleetReport`.
 
+Latency itself is sampled by each shard's
+:class:`repro.obs.metrics.Histogram` (the telemetry spine's replacement
+for the old ``LatencyRecorder`` -- same nearest-rank percentiles, plus
+buckets and mergeable exports), and :meth:`ClusterReport.publish`
+projects the whole report into the metrics registry under
+``cluster.*`` names, so a registry snapshot taken after a run carries
+the same numbers the report object does.
+
 :class:`BackpressureGate` is the admission control half: when provers
 outrun a shard's verifier, new exchanges either wait their turn
 (``"delay"``) or are refused outright (``"shed"``), and either way the
@@ -18,47 +26,10 @@ import asyncio
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.obs.metrics import get_registry
+
 #: Admission-control behaviours when a shard is at max_inflight.
 BACKPRESSURE_MODES = ("delay", "shed")
-
-
-class LatencyRecorder:
-    """Collects latency samples; answers percentile queries.
-
-    Bounded: keeps the most recent ``limit`` samples, so soak runs get
-    rolling percentiles instead of unbounded memory growth.
-    """
-
-    def __init__(self, limit: int = 4096):
-        if limit < 1:
-            raise ValueError("limit must be >= 1, got %r" % (limit,))
-        self.limit = limit
-        self._samples: List[float] = []
-        self.count = 0
-
-    def record(self, seconds: float):
-        self.count += 1
-        self._samples.append(seconds)
-        if len(self._samples) > self.limit:
-            del self._samples[: len(self._samples) - self.limit]
-
-    def percentile(self, fraction: float) -> float:
-        """Nearest-rank percentile over the retained window (0 if empty)."""
-        if not self._samples:
-            return 0.0
-        if not 0.0 <= fraction <= 1.0:
-            raise ValueError("fraction must be in [0, 1], got %r" % (fraction,))
-        ordered = sorted(self._samples)
-        index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
-        return ordered[index]
-
-    @property
-    def p50(self) -> float:
-        return self.percentile(0.50)
-
-    @property
-    def p99(self) -> float:
-        return self.percentile(0.99)
 
 
 @dataclass
@@ -79,6 +50,21 @@ class ShardStats:
     p99_seconds: float = 0.0
     #: False once the shard was evicted or killed.
     alive: bool = True
+
+    def publish(self, registry=None):
+        """Project this shard's slice into ``cluster.<shard>.*`` gauges."""
+        registry = registry if registry is not None else get_registry()
+        prefix = "cluster.%s." % self.shard
+        registry.gauge(prefix + "exchanges").set(self.exchanges)
+        registry.gauge(prefix + "accepted").set(self.accepted)
+        registry.gauge(prefix + "rejected").set(self.rejected)
+        registry.gauge(prefix + "timed_out").set(self.timed_out)
+        registry.gauge(prefix + "shed").set(self.shed)
+        registry.gauge(prefix + "pending_challenges").set(
+            self.pending_challenges)
+        registry.gauge(prefix + "p50_seconds").set(self.p50_seconds)
+        registry.gauge(prefix + "p99_seconds").set(self.p99_seconds)
+        registry.gauge(prefix + "alive").set(int(self.alive))
 
 
 @dataclass
@@ -118,6 +104,35 @@ class ClusterReport:
             if stats.shard == name:
                 return stats
         return None
+
+    def publish(self, registry=None):
+        """Project the report into ``cluster.*`` registry instruments.
+
+        Aggregates are gauges (a report is a point-in-time fold of one
+        run, not a monotonic stream), per-shard slices publish through
+        :meth:`ShardStats.publish`.  Called by
+        :meth:`~repro.cluster.fleet.ClusterFleet.run_async` when the
+        report is folded, so a registry snapshot after a cluster run
+        always carries the run's numbers.
+        """
+        registry = registry if registry is not None else get_registry()
+        registry.gauge("cluster.fleet_size").set(self.fleet_size)
+        registry.gauge("cluster.shard_count").set(self.shard_count)
+        registry.gauge("cluster.exchanges").set(self.exchanges)
+        registry.gauge("cluster.accepted").set(self.accepted)
+        registry.gauge("cluster.rejected").set(self.rejected)
+        registry.gauge("cluster.timed_out").set(self.timed_out)
+        registry.gauge("cluster.shed").set(self.shed)
+        registry.gauge("cluster.delayed").set(self.delayed)
+        registry.gauge("cluster.retransmits").set(self.retransmits)
+        registry.gauge("cluster.evictions").set(self.evictions)
+        registry.gauge("cluster.rebalanced_devices").set(
+            self.rebalanced_devices)
+        registry.gauge("cluster.elapsed_seconds").set(self.elapsed_seconds)
+        for kind, count in self.per_kind.items():
+            registry.gauge("cluster.per_kind.%s" % kind).set(count)
+        for stats in self.shards:
+            stats.publish(registry)
 
 
 class BackpressureGate:

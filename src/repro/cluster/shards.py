@@ -33,9 +33,10 @@ import multiprocessing
 from typing import Dict, List, Optional
 
 from repro.cluster.hashring import DEFAULT_REPLICAS, HashRing
-from repro.cluster.metrics import BackpressureGate, LatencyRecorder, ShardStats
+from repro.cluster.metrics import BackpressureGate, ShardStats
 from repro.cluster.registry import WorkerRegistry
 from repro.net.rpc import RpcChannel
+from repro.obs.metrics import Histogram
 from repro.net.service import DeviceEnrollment, VerifierService
 from repro.net.transport import (
     ClosedTransportError,
@@ -86,7 +87,9 @@ class VerifierShard:
         self.address = None
         #: Control channel for ping/enroll/stats round trips.
         self.control: Optional[RpcChannel] = None
-        self.latency = LatencyRecorder()
+        #: Exchange-latency samples (telemetry-spine histogram: fixed
+        #: buckets plus a rolling percentile window).
+        self.latency = Histogram()
         self.gate: Optional[BackpressureGate] = None
         self.alive = False
         self._serve_tasks = []

@@ -34,6 +34,8 @@ from __future__ import annotations
 import weakref
 from typing import Dict, Optional, Tuple
 
+from repro.obs.metrics import register_global_collector
+
 #: Maximum encoded instruction size in bytes (three 16-bit words).
 MAX_INSTRUCTION_BYTES = 6
 
@@ -175,3 +177,15 @@ class DecodeCache:
         lookups = totals["hits"] + totals["misses"]
         totals["hit_rate"] = (totals["hits"] / lookups) if lookups else 0.0
         return totals
+
+
+@register_global_collector
+def _collect_cache_metrics(registry):
+    """Publish :meth:`DecodeCache.aggregate_stats` as ``cache.*`` gauges.
+
+    Snapshot-on-read: the per-fetch hot path only ever touches the plain
+    integer attributes above; these gauges materialise when a registry
+    snapshot asks for them.
+    """
+    for key, value in DecodeCache.aggregate_stats().items():
+        registry.gauge("cache." + key).set(value)

@@ -80,6 +80,7 @@ else:
 from __future__ import annotations
 
 import os
+import weakref
 from contextlib import contextmanager
 
 from repro.cpu.core import (
@@ -95,6 +96,7 @@ from repro.cpu.core import (
 from repro.cpu.decode_cache import FULL_FLUSH_THRESHOLD
 from repro.isa.instructions import AddressingMode, InstructionFormat, Opcode
 from repro.isa.registers import CG, PC, SP, SR
+from repro.obs.metrics import register_global_collector
 
 #: Environment variable selecting the process-wide default engine.
 ENV_VAR = "REPRO_EXEC_BACKEND"
@@ -142,9 +144,15 @@ class ExecutionEngine:
 
     name = "abstract"
 
+    #: Live instances, for process-wide telemetry snapshots: the
+    #: ``engine.*`` registry collector sums :meth:`stats` over these at
+    #: snapshot time, so the step loop itself never touches a registry.
+    _live = weakref.WeakSet()
+
     def __init__(self, device):
         self.device = device
         self.cpu: CPU = device.cpu
+        ExecutionEngine._live.add(self)
 
     # ------------------------------------------------------------ lifecycle
 
@@ -1616,3 +1624,30 @@ def use_engine(name):
 def create_engine(device, engine=None):
     """Instantiate the selected engine for *device* (without attaching)."""
     return engine_class(engine)(device)
+
+
+@register_global_collector
+def _collect_engine_metrics(registry):
+    """Publish per-engine :meth:`ExecutionEngine.stats` sums as gauges.
+
+    Snapshot-on-read: summed over the live engines at snapshot time
+    under ``engine.<name>.<counter>`` (``engine.blocks.chained_exits``,
+    ``engine.blocks.compiled``, ...), plus ``engine.<name>.instances``.
+    The compiled-closure loop itself never touches the registry -- the
+    ``compare_bench.py --profile sim`` gate pins that.
+    """
+    totals = {}
+    instances = {}
+    for engine in list(ExecutionEngine._live):
+        name = engine.name
+        instances[name] = instances.get(name, 0) + 1
+        sums = totals.setdefault(name, {})
+        for key, value in engine.stats().items():
+            if isinstance(value, bool):
+                value = int(value)
+            if isinstance(value, (int, float)):
+                sums[key] = sums.get(key, 0) + value
+    for name, sums in totals.items():
+        registry.gauge("engine.%s.instances" % name).set(instances[name])
+        for key, value in sums.items():
+            registry.gauge("engine.%s.%s" % (name, key)).set(value)

@@ -10,6 +10,7 @@ Runs the experiment campaigns and prints the consolidated report::
     python -m repro.experiments --store results/     # incremental re-runs
     python -m repro.experiments --stream             # per-scenario progress
     python -m repro.experiments --fail-fast          # stop on first failure
+    python -m repro.experiments --telemetry telem/   # metrics + spans export
     python -m repro.experiments --store results/ --store-prune-age 86400
 
 Unknown flags are rejected with exit code 2 (argparse); a failing
@@ -110,9 +111,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--fail-fast", action="store_true", dest="fail_fast",
-        help="abort each campaign at the first failing scenario "
-             "(serial/thread/process backends): in-flight workers are "
-             "torn down and the remaining scenarios are skipped",
+        help="abort each campaign at the first failing scenario: "
+             "in-flight work is drained (remote workers finish their "
+             "current assignment; nothing is requeued) and the "
+             "remaining scenarios are skipped",
+    )
+    parser.add_argument(
+        "--telemetry", dest="telemetry_dir", metavar="DIR", default=None,
+        help="after the run, export the metrics-registry snapshot and "
+             "every finished trace span to DIR/telemetry.jsonl "
+             "(JSON lines; see repro.obs)",
     )
     parser.add_argument(
         "--store-prune-entries", type=int, default=None, metavar="N",
@@ -178,10 +186,6 @@ def main(argv=None):
         return 2
     if args.no_reuse and args.store_dir is None:
         print("--no-reuse requires --store", file=sys.stderr)
-        return 2
-    if args.fail_fast and args.backend == "remote":
-        print("--fail-fast applies to the serial/thread/process backends",
-              file=sys.stderr)
         return 2
     if args.store_prune_entries is not None and args.store_prune_entries < 0:
         print("--store-prune-entries must be >= 0", file=sys.stderr)
@@ -266,6 +270,12 @@ def main(argv=None):
     if args.json_path:
         runners.write_json(results, args.json_path)
         print("wrote %d experiment results to %s" % (len(results), args.json_path))
+
+    if args.telemetry_dir is not None:
+        from repro.obs import export_telemetry
+
+        path = export_telemetry(args.telemetry_dir)
+        print("wrote telemetry (metrics snapshot + trace spans) to %s" % path)
 
     failed = [result.experiment_id for result in results if not result.succeeded]
     if failed:

@@ -32,6 +32,7 @@ from repro.net.transport import (
     loopback_pair,
     open_tcp_transport,
 )
+from repro.obs.metrics import get_registry
 
 #: Transport flavours :class:`Fleet` can stand up.
 TRANSPORTS = ("loopback", "tcp")
@@ -84,6 +85,21 @@ class FleetReport:
     def all_accepted(self) -> bool:
         """``True`` when every exchange completed and was accepted."""
         return self.accepted == self.exchanges
+
+    def publish(self, registry=None):
+        """Project the report into ``fleet.*`` registry gauges."""
+        registry = registry if registry is not None else get_registry()
+        registry.gauge("fleet.size").set(self.fleet_size)
+        registry.gauge("fleet.exchanges").set(self.exchanges)
+        registry.gauge("fleet.accepted").set(self.accepted)
+        registry.gauge("fleet.rejected").set(self.rejected)
+        registry.gauge("fleet.timed_out").set(self.timed_out)
+        registry.gauge("fleet.retransmits").set(self.retransmits)
+        registry.gauge("fleet.elapsed_seconds").set(self.elapsed_seconds)
+        registry.gauge("fleet.pending_challenges_after").set(
+            self.pending_challenges_after)
+        for kind, count in self.per_kind.items():
+            registry.gauge("fleet.per_kind.%s" % kind).set(count)
 
 
 class Fleet:
@@ -238,6 +254,7 @@ class Fleet:
                 report.rejected += 1
         report.pending_challenges_after = self.service.pending_challenges
         report.service_counters = dict(self.service.counters)
+        report.publish()
         return report
 
     async def _drive(self, prover: ProverEndpoint, count, mix, max_steps):

@@ -57,6 +57,7 @@ from repro.net.transport import (
     read_frame,
     write_frame,
 )
+from repro.obs.trace import Tracer, get_tracer
 from repro.sim.runner import ScenarioResult, run_scenario
 from repro.sim.scenario import ScenarioSpec
 
@@ -90,11 +91,21 @@ def worker_loop(host, port, name="worker", heartbeat=None,
     every that-many seconds (a write lock keeps frames from
     interleaving with results mid-frame), so the dispatcher's registry
     can tell "slow scenario" from "dead worker".
+
+    Every scenario is timed into a ``worker.scenario`` span, parented
+    on the trace context the dispatcher ships in the scenario frame, and
+    the wire-encoded spans ride back inside the result frame -- so the
+    dispatcher reassembles one campaign tree spanning every worker
+    process.  The tracer here is deliberately *private* (not the
+    process default): in the in-process deployment the worker threads
+    share the dispatcher's globals, and publishing into the shared
+    tracer would double-count every span once the frame arrives.
     """
     sock = _connect_with_backoff(host, port, attempts=connect_attempts,
                                  base_delay=connect_backoff)
     write_lock = threading.Lock()
     stop_beating = threading.Event()
+    tracer = Tracer()
 
     def _beat():
         while not stop_beating.wait(heartbeat):
@@ -116,11 +127,20 @@ def worker_loop(host, port, name="worker", heartbeat=None,
             message = read_frame(sock)
             if message.get("kind") != "scenario":
                 break
+            trace = message.get("trace")
+            span = tracer.begin(
+                "worker.scenario",
+                parent=tuple(trace) if trace else None,
+                attributes={"worker": name}, activate=False)
             result = run_scenario(message["spec"])
+            span.set_attribute("scenario", result.name)
+            span.set_attribute("ok", result.ok)
+            tracer.finish(span)
             with write_lock:
                 write_frame(sock, {
                     "kind": "result", "index": message["index"],
                     "result": result,
+                    "spans": tracer.drain_wire(),
                 })
     except ClosedTransportError:
         pass
@@ -135,12 +155,14 @@ class _Dispatcher:
     """Order-preserving work queue served over one TCP listener."""
 
     def __init__(self, specs: List[ScenarioSpec], registry=None,
-                 on_result=None):
+                 on_result=None, trace_parent=None):
         self.specs = specs
         self.results: List[Optional[ScenarioResult]] = [None] * len(specs)
         self.queue = deque(range(len(specs)))
         self.remaining = len(specs)
         self.connections = 0
+        #: Specs currently assigned to a live worker.
+        self.assigned_count = 0
         #: Assignments returned to the queue by lost/evicted workers.
         self.requeues = 0
         #: Optional WorkerRegistry tracking join/beat/evict per worker.
@@ -149,11 +171,20 @@ class _Dispatcher:
         #: arrival order (out-of-order by nature) -- the streaming
         #: surface :func:`run_remote_campaign_iter` builds on.
         self.on_result = on_result
+        #: ``(trace_id, span_id)`` shipped in every scenario frame so
+        #: worker-side spans parent on the campaign span.
+        self.trace_parent = trace_parent
         #: Live worker transports by name, so eviction can close the
         #: socket -- which lands the connection handler in its normal
         #: lost-worker path (requeue + connection-count bookkeeping)
         #: instead of inventing a second, racy requeue path here.
         self.transports = {}
+        #: Set by :meth:`abort` (fail-fast): the queue is dropped and
+        #: only in-flight assignments are waited for.
+        self.aborted = False
+        #: The running loop, captured by :func:`_dispatch` so the
+        #: consumer thread can schedule :meth:`abort` thread-safely.
+        self.loop = None
         self.done = asyncio.Event()
         if not specs:
             self.done.set()
@@ -164,6 +195,28 @@ class _Dispatcher:
         if self.on_result is not None:
             self.on_result(index, result)
         if self.remaining == 0:
+            self.done.set()
+
+    def abort(self):
+        """Fail-fast abort: drop every unassigned spec and wind down.
+
+        Must run on the dispatcher's event loop (the consumer thread
+        schedules it via ``loop.call_soon_threadsafe``).  Requeues
+        nothing: workers currently executing a scenario finish it --
+        their result frames are still recorded -- and then get a
+        shutdown because the queue is empty; ``done`` fires once the
+        last outstanding assignment resolves.
+        """
+        if self.aborted:
+            return
+        self.aborted = True
+        self.queue.clear()
+        if self.assigned_count == 0:
+            self.done.set()
+
+    def _assignment_resolved(self):
+        self.assigned_count -= 1
+        if self.aborted and self.assigned_count == 0:
             self.done.set()
 
     async def handle(self, transport):
@@ -180,8 +233,15 @@ class _Dispatcher:
                         self.registry.beat(message.get("worker", ""))
                     continue
                 if kind == "result":
+                    spans = message.get("spans")
+                    if spans:
+                        # Worker-side spans crossed the frame boundary;
+                        # fold them into the dispatcher's tree.
+                        get_tracer().ingest(spans)
                     self._record(message["index"], message["result"])
-                    assigned = None
+                    if assigned is not None:
+                        assigned = None
+                        self._assignment_resolved()
                     # A result is a sign of life whether or not the
                     # worker's heartbeat thread is keeping up.
                     if self.registry is not None and worker_name is not None:
@@ -197,10 +257,14 @@ class _Dispatcher:
                     await transport.send({"kind": "shutdown"})
                     return
                 assigned = self.queue.popleft()
-                await transport.send({
+                self.assigned_count += 1
+                scenario_message = {
                     "kind": "scenario", "index": assigned,
                     "spec": self.specs[assigned],
-                })
+                }
+                if self.trace_parent is not None:
+                    scenario_message["trace"] = list(self.trace_parent)
+                await transport.send(scenario_message)
         except Exception:  # noqa: BLE001 - any lost worker must requeue
             # ClosedTransportError (worker death) is the common case,
             # but a malformed or undecodable frame (say, a result whose
@@ -208,16 +272,20 @@ class _Dispatcher:
             # refuses) lands here too -- either way this connection is
             # done, and its assignment goes back for a surviving worker
             # (or the inline drain below, which never pickles at all).
+            # After an abort nothing is requeued: the lost assignment
+            # just resolves, so ``done`` can fire.
             if assigned is not None:
-                self.queue.appendleft(assigned)
-                self.requeues += 1
+                if not self.aborted:
+                    self.queue.appendleft(assigned)
+                    self.requeues += 1
+                self._assignment_resolved()
         finally:
             if worker_name is not None:
                 self.transports.pop(worker_name, None)
                 if self.registry is not None and worker_name in self.registry:
                     self.registry.leave(worker_name)
             self.connections -= 1
-            if self.connections == 0 and self.queue:
+            if self.connections == 0 and self.queue and not self.aborted:
                 # No workers left but work remains (every connection
                 # dropped): finish inline so the campaign completes --
                 # degraded throughput, never lost results.  This is the
@@ -245,6 +313,7 @@ async def _dispatch(specs: List[ScenarioSpec], jobs: int,
                     heartbeat_timeout: Optional[float] = None,
                     dispatcher: Optional[_Dispatcher] = None,
                     on_result=None,
+                    trace_parent=None,
                     ) -> List[ScenarioResult]:
     registry = None
     if heartbeat is not None:
@@ -258,12 +327,16 @@ async def _dispatch(specs: List[ScenarioSpec], jobs: int,
         registry = WorkerRegistry(heartbeat_timeout=heartbeat_timeout)
     if dispatcher is None:
         dispatcher = _Dispatcher(specs, registry=registry,
-                                 on_result=on_result)
+                                 on_result=on_result,
+                                 trace_parent=trace_parent)
     else:
         if registry is not None and dispatcher.registry is None:
             dispatcher.registry = registry
         if on_result is not None and dispatcher.on_result is None:
             dispatcher.on_result = on_result
+        if trace_parent is not None and dispatcher.trace_parent is None:
+            dispatcher.trace_parent = trace_parent
+    dispatcher.loop = asyncio.get_running_loop()
     server = await open_tcp_listener(dispatcher.handle)
     host, port = server.sockets[0].getsockname()[:2]
     workers = [
@@ -307,6 +380,7 @@ def run_remote_campaign_iter(items,
                              jobs: Optional[int] = None,
                              heartbeat: Optional[float] = None,
                              heartbeat_timeout: Optional[float] = None,
+                             trace_parent=None,
                              ):
     """Streaming remote campaign: yield results as workers finish them.
 
@@ -320,6 +394,16 @@ def run_remote_campaign_iter(items,
     The event loop runs on a private thread; completions cross a
     thread-safe queue, so the consumer iterates plain synchronous
     results while sockets stay serviced in the background.
+
+    Closing the generator (``generator.close()`` -- what a fail-fast
+    :meth:`~repro.sim.runner.CampaignRunner.run_iter` does at the first
+    failure) schedules :meth:`_Dispatcher.abort` on the loop thread:
+    unassigned specs are dropped, nothing is requeued, in-flight
+    workers finish their current scenario and are then shut down.
+
+    ``trace_parent`` (a ``(trace_id, span_id)`` pair) is shipped in
+    every scenario frame so worker-side ``worker.scenario`` spans come
+    back rooted under the caller's campaign span.
     """
     items = list(items)
     if items and not isinstance(items[0], tuple):
@@ -342,12 +426,15 @@ def run_remote_campaign_iter(items,
         # back to the caller's index before crossing the queue.
         arrivals.put((indices[position], result))
 
+    dispatcher = _Dispatcher(specs, on_result=_deliver,
+                             trace_parent=trace_parent)
+
     def _drive():
         try:
             outcome["results"] = asyncio.run(
                 _dispatch(specs, jobs, heartbeat=heartbeat,
                           heartbeat_timeout=heartbeat_timeout,
-                          on_result=_deliver))
+                          dispatcher=dispatcher))
         except BaseException as error:  # noqa: BLE001 - re-raised below
             outcome["error"] = error
         finally:
@@ -356,11 +443,29 @@ def run_remote_campaign_iter(items,
     loop_thread = threading.Thread(target=_drive, name="remote-campaign",
                                    daemon=True)
     loop_thread.start()
-    while True:
-        arrived = arrivals.get()
-        if arrived is _STREAM_DONE:
-            break
-        yield arrived
+    try:
+        while True:
+            arrived = arrivals.get()
+            if arrived is _STREAM_DONE:
+                break
+            yield arrived
+    except GeneratorExit:
+        # The consumer closed us mid-stream (fail-fast).  Schedule the
+        # abort on the loop thread, drain the arrivals queue without
+        # yielding (a closed generator may not yield), and wait for the
+        # dispatcher to wind down cleanly.
+        loop = dispatcher.loop
+        if loop is not None:
+            try:
+                loop.call_soon_threadsafe(dispatcher.abort)
+            except RuntimeError:
+                # The loop already finished and closed; _STREAM_DONE is
+                # queued (or about to be) either way.
+                pass
+        while arrivals.get() is not _STREAM_DONE:
+            pass
+        loop_thread.join()
+        raise
     loop_thread.join()
     if "error" in outcome:
         raise outcome["error"]

@@ -52,6 +52,7 @@ growing (``benchmarks/test_bench_fleet.py`` pins exactly that).
 from __future__ import annotations
 
 import asyncio
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
@@ -59,6 +60,7 @@ from typing import Dict, Optional, Tuple
 from repro.apex.pox import PoxVerifier
 from repro.core.pox import AsapPoxVerifier
 from repro.net.transport import ClosedTransportError, MessageTransport, open_tcp_listener
+from repro.obs.metrics import register_global_collector
 from repro.vrased.protocol import Verifier
 
 
@@ -128,6 +130,11 @@ def provision_enrollment(bench) -> DeviceEnrollment:
 class VerifierService:
     """Serves RA and PoX exchanges for a fleet of provers."""
 
+    #: Live instances, for the ``service.*`` telemetry collector: the
+    #: per-message handler only bumps the plain ``counters`` dict; sums
+    #: over the live services materialise at registry snapshot time.
+    _live = weakref.WeakSet()
+
     def __init__(self, verifier: Optional[Verifier] = None,
                  allow_enroll: bool = False,
                  reply_cache_size: int = REPLY_CACHE_SIZE):
@@ -146,6 +153,7 @@ class VerifierService:
             "challenges": 0, "accepted": 0, "rejected": 0, "errors": 0,
             "enrollments": 0, "duplicates": 0,
         }
+        VerifierService._live.add(self)
 
     # ------------------------------------------------------------ queries
 
@@ -313,3 +321,26 @@ class VerifierService:
         """Serve over TCP; returns the ``asyncio.Server``."""
         return await open_tcp_listener(self.serve, host=host, port=port,
                                        conditions=conditions)
+
+
+@register_global_collector
+def _collect_service_metrics(registry):
+    """Publish sums over the live services as ``service.*`` gauges.
+
+    ``service.challenges``, ``service.accepted``, ... mirror the
+    ``counters`` dict; ``service.pending_challenges`` is the combined
+    issued-challenge table occupancy, the signal the backpressure /
+    future autoscaling hooks watch.
+    """
+    totals: Dict[str, int] = {}
+    instances = 0
+    pending = 0
+    for service in list(VerifierService._live):
+        instances += 1
+        pending += service.pending_challenges
+        for key, value in service.counters.items():
+            totals[key] = totals.get(key, 0) + value
+    registry.gauge("service.instances").set(instances)
+    registry.gauge("service.pending_challenges").set(pending)
+    for key, value in totals.items():
+        registry.gauge("service." + key).set(value)

@@ -1,0 +1,51 @@
+"""repro.obs -- the dependency-free telemetry spine.
+
+One :class:`MetricsRegistry` (Counter/Gauge/Histogram, labels,
+snapshot/merge, snapshot-time collectors), one :class:`Tracer`
+(contextvar-propagated spans with a wire encoding that crosses the
+remote-campaign and spawned-shard frame boundaries), and exporters
+(JSON-lines sink, in-memory sink, ``export_telemetry``).
+
+Every layer of the stack publishes here under consistent dotted names:
+``engine.*`` and ``cache.*`` via snapshot-time collectors (their
+per-step hot paths never touch the registry), ``store.*``,
+``service.*``, ``campaign.*``, ``fleet.*`` and ``cluster.*`` directly.
+"""
+
+from repro.obs.export import (InMemorySink, JsonlSink, TELEMETRY_FILENAME,
+                              export_telemetry)
+from repro.obs.metrics import (Counter, DEFAULT_BUCKETS, DEFAULT_WINDOW,
+                               Gauge, Histogram, MetricsRegistry,
+                               get_registry, register_global_collector,
+                               set_registry, unregister_global_collector,
+                               use_registry)
+from repro.obs.trace import (Span, Tracer, attach_context, current_context,
+                             detach_context, get_tracer, render_tree,
+                             set_tracer, span_tree)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_WINDOW",
+    "Gauge",
+    "Histogram",
+    "InMemorySink",
+    "JsonlSink",
+    "MetricsRegistry",
+    "Span",
+    "TELEMETRY_FILENAME",
+    "Tracer",
+    "attach_context",
+    "current_context",
+    "detach_context",
+    "export_telemetry",
+    "get_registry",
+    "get_tracer",
+    "register_global_collector",
+    "render_tree",
+    "set_registry",
+    "set_tracer",
+    "span_tree",
+    "unregister_global_collector",
+    "use_registry",
+]

@@ -1,0 +1,118 @@
+"""Exporters: getting telemetry out of the process.
+
+Two sinks plus one convenience entry point:
+
+* :class:`JsonlSink` appends one JSON object per line to a file --
+  ``{"record": "metrics", ...snapshot}`` and ``{"record": "span", ...}``
+  rows interleave freely, so a single ``telemetry.jsonl`` carries a
+  whole run and stays greppable/streamable.
+* :class:`InMemorySink` keeps the same records in a list, for tests.
+* :func:`export_telemetry` snapshots the default registry and drains
+  the default tracer into a directory -- this is what the CLI's
+  ``--telemetry DIR`` calls at the end of a run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import Span, Tracer, get_tracer
+
+#: File name used by :func:`export_telemetry` inside the target dir.
+TELEMETRY_FILENAME = "telemetry.jsonl"
+
+
+class JsonlSink:
+    """Append telemetry records to a JSON-lines file."""
+
+    def __init__(self, path):
+        self.path = os.fspath(path)
+        self._lock = threading.Lock()
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+
+    def _write(self, record: Dict[str, object]):
+        line = json.dumps(record, sort_keys=True, allow_nan=False)
+        with self._lock:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+
+    def write_metrics(self, snapshot: Dict[str, Dict[str, object]]):
+        self._write({"record": "metrics", **snapshot})
+
+    def write_span(self, span: Span):
+        self._write({
+            "record": "span",
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "name": span.name,
+            "start_time": span.start_time,
+            "duration": span.duration,
+            "attributes": span.attributes,
+        })
+
+    def write_spans(self, spans: Sequence[Span]):
+        for span in spans:
+            self.write_span(span)
+
+
+class InMemorySink:
+    """Keep telemetry records in a list (tests)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.records: List[Dict[str, object]] = []
+
+    def write_metrics(self, snapshot: Dict[str, Dict[str, object]]):
+        with self._lock:
+            self.records.append({"record": "metrics", **snapshot})
+
+    def write_span(self, span: Span):
+        with self._lock:
+            self.records.append({
+                "record": "span",
+                "trace_id": span.trace_id,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "name": span.name,
+                "start_time": span.start_time,
+                "duration": span.duration,
+                "attributes": span.attributes,
+            })
+
+    def write_spans(self, spans: Sequence[Span]):
+        for span in spans:
+            self.write_span(span)
+
+    def metrics_records(self) -> List[Dict[str, object]]:
+        with self._lock:
+            return [record for record in self.records
+                    if record["record"] == "metrics"]
+
+    def span_records(self) -> List[Dict[str, object]]:
+        with self._lock:
+            return [record for record in self.records
+                    if record["record"] == "span"]
+
+
+def export_telemetry(directory,
+                     registry: Optional[MetricsRegistry] = None,
+                     tracer: Optional[Tracer] = None) -> str:
+    """Dump one metrics snapshot + all retained spans to ``directory``.
+
+    Appends to ``<directory>/telemetry.jsonl`` (creating the directory
+    as needed) and returns the file path.  The tracer is drained, so
+    repeated calls export each span exactly once.
+    """
+    registry = registry if registry is not None else get_registry()
+    tracer = tracer if tracer is not None else get_tracer()
+    path = os.path.join(os.fspath(directory), TELEMETRY_FILENAME)
+    sink = JsonlSink(path)
+    sink.write_metrics(registry.snapshot())
+    sink.write_spans(tracer.drain())
+    return path

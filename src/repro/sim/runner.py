@@ -65,6 +65,8 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro._lru import LruDict
 from repro.firmware.testbench import PoxTestbench
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.sim.scenario import (
     Observe,
     ScenarioContext,
@@ -435,12 +437,13 @@ class CampaignRunner:
     :meth:`run_iter` both -- the streaming hook the CLI's ``--stream``
     uses.
 
-    ``fail_fast=True`` (serial/thread/process backends) aborts dispatch
-    at the first result with ``ok=False``: in-flight work is torn down
-    (the pool backends terminate their workers), the returned
-    :class:`CampaignResult` carries ``aborted=True`` and holds only the
-    scenarios that finished -- so fuzzing-shaped sweeps stop burning
-    the rest of the campaign once a failure is in hand.
+    ``fail_fast=True`` aborts dispatch at the first result with
+    ``ok=False``: in-flight work is torn down (the pool backends
+    terminate their workers; the remote dispatcher drains its assigned
+    workers and requeues nothing), the returned :class:`CampaignResult`
+    carries ``aborted=True`` and holds only the scenarios that finished
+    -- so fuzzing-shaped sweeps stop burning the rest of the campaign
+    once a failure is in hand.
     """
 
     def __init__(self, backend: str = "serial", jobs: Optional[int] = None,
@@ -460,10 +463,6 @@ class CampaignRunner:
         if heartbeat is not None and backend != "remote":
             raise ValueError("heartbeats apply to the remote backend only, "
                              "not %r" % backend)
-        if fail_fast and backend == "remote":
-            raise ValueError("fail-fast applies to the serial/thread/process "
-                             "backends; the remote dispatcher has no abort "
-                             "path yet")
         if engine is not None:
             # Imported lazily to keep the campaign engine importable
             # without the simulator stack at the top of the module.
@@ -534,46 +533,69 @@ class CampaignRunner:
         if self.engine is not None:
             specs = [self._spec_with_engine(spec) for spec in specs]
         started = time.perf_counter()
+        tracer = get_tracer()
+        # The campaign span is explicit begin/finish, not a context
+        # manager, and is never *activated*: a ``with tracer.span``
+        # inside a generator body would leak the contextvar mutation
+        # into the caller's context between yields.  Per-scenario spans
+        # parent on it through the explicit ``trace_parent`` pair, which
+        # also crosses the remote dispatcher's job frames.
+        campaign_span = tracer.begin(
+            "campaign.run", activate=False,
+            attributes={"backend": self.backend, "jobs": self.jobs,
+                        "scenarios": len(specs)})
+        trace_parent = (campaign_span.trace_id, campaign_span.span_id)
         results: List[Optional[ScenarioResult]] = [None] * len(specs)
         fingerprints: Optional[List[str]] = None
         hits = 0
         aborted = False
         pending = list(range(len(specs)))
-        if self.store is not None:
-            fingerprints = [spec.fingerprint() for spec in specs]
-            if self.reuse:
-                pending = []
-                for index, fingerprint in enumerate(fingerprints):
-                    cached = self.store.get(fingerprint)
-                    if cached is not None:
-                        results[index] = cached
-                        hits += 1
-                        yield self._emit(cached)
-                        if self.fail_fast and not cached.ok:
-                            # A cached failure is a failure: nothing
-                            # pending has been dispatched yet, so the
-                            # abort is free.
-                            aborted = True
-                            pending = []
-                            break
-                    else:
-                        pending.append(index)
-        if not aborted:
-            completions = self._execute_iter(
-                [(index, specs[index]) for index in pending])
-            for index, result in completions:
-                results[index] = result
-                if self.store is not None:
-                    self.store.put(fingerprints[index], result)
-                yield self._emit(result)
-                if self.fail_fast and not result.ok:
-                    # Tear down in-flight dispatch: closing the
-                    # generator raises GeneratorExit at its yield
-                    # point, which exits the pool context managers
-                    # (terminating their workers).
-                    completions.close()
-                    aborted = True
-                    break
+        try:
+            if self.store is not None:
+                fingerprints = [spec.fingerprint() for spec in specs]
+                if self.reuse:
+                    pending = []
+                    for index, fingerprint in enumerate(fingerprints):
+                        cached = self.store.get(fingerprint)
+                        if cached is not None:
+                            results[index] = cached
+                            hits += 1
+                            yield self._emit(cached, trace_parent)
+                            if self.fail_fast and not cached.ok:
+                                # A cached failure is a failure: nothing
+                                # pending has been dispatched yet, so the
+                                # abort is free.
+                                aborted = True
+                                pending = []
+                                break
+                        else:
+                            pending.append(index)
+            if not aborted:
+                completions = self._execute_iter(
+                    [(index, specs[index]) for index in pending],
+                    trace_parent)
+                for index, result in completions:
+                    results[index] = result
+                    if self.store is not None:
+                        self.store.put(fingerprints[index], result)
+                    yield self._emit(result, trace_parent)
+                    if self.fail_fast and not result.ok:
+                        # Tear down in-flight dispatch: closing the
+                        # generator raises GeneratorExit at its yield
+                        # point, which exits the pool context managers
+                        # (terminating their workers) -- and, on the
+                        # remote backend, runs the dispatcher's abort
+                        # path (drain assigned workers, requeue
+                        # nothing).
+                        completions.close()
+                        aborted = True
+                        break
+        finally:
+            campaign_span.set_attribute("aborted", aborted)
+            campaign_span.set_attribute("store_hits", hits)
+            tracer.finish(campaign_span)
+            if aborted:
+                get_registry().counter("campaign.aborted").inc()
         if aborted:
             # Spec order, completed scenarios only; unfinished slots
             # are dropped rather than padded with placeholders.
@@ -590,12 +612,31 @@ class CampaignRunner:
             aborted=aborted,
         )
 
-    def _emit(self, result: ScenarioResult) -> ScenarioResult:
+    def _emit(self, result: ScenarioResult,
+              trace_parent: Optional[Tuple[str, str]] = None
+              ) -> ScenarioResult:
+        """Account one completed result: ``campaign.*`` metrics, a
+        synthetic dispatch-side span (uniform across backends, built
+        from the measured ``elapsed_seconds``), then the caller hook."""
+        registry = get_registry()
+        registry.counter("campaign.scenarios").inc()
+        registry.counter("campaign.cached" if result.cached
+                         else "campaign.executed").inc()
+        if not result.ok:
+            registry.counter("campaign.failures").inc()
+        registry.histogram("campaign.scenario_seconds").record(
+            result.elapsed_seconds)
+        get_tracer().add(
+            "campaign.scenario", result.elapsed_seconds,
+            parent=trace_parent,
+            attributes={"scenario": result.name, "kind": result.kind,
+                        "cached": result.cached, "ok": result.ok})
         if self.on_result is not None:
             self.on_result(result)
         return result
 
-    def _execute_iter(self, items: List[Tuple[int, ScenarioSpec]]
+    def _execute_iter(self, items: List[Tuple[int, ScenarioSpec]],
+                      trace_parent: Optional[Tuple[str, str]] = None
                       ) -> Iterator[Tuple[int, ScenarioResult]]:
         """Run ``(index, spec)`` work items through the backend,
         yielding ``(index, result)`` in completion order."""
@@ -607,7 +648,8 @@ class CampaignRunner:
             from repro.net.remote import run_remote_campaign_iter
 
             yield from run_remote_campaign_iter(
-                items, jobs=self.jobs, heartbeat=self.heartbeat)
+                items, jobs=self.jobs, heartbeat=self.heartbeat,
+                trace_parent=trace_parent)
         elif self.jobs > 1 and len(items) > 1 and self.backend == "process":
             # chunksize=1 everywhere below: scenarios are coarse units
             # of seconds, not microtasks; per-item dispatch gives the

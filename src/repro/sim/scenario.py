@@ -439,20 +439,40 @@ class ScenarioSpec:
         ``kind="pox"`` specs honour an ``exec_engine`` config override;
         otherwise device-building kinds (``pox``/``attack``) follow the
         process-wide selection (``REPRO_EXEC_BACKEND`` / the registry
-        default).  ``ltl``/``job`` kinds never build a device, so the
-        engine cannot influence them and ``None`` is returned.
+        default).  ``job`` bodies are arbitrary registered callables
+        that may build devices themselves, so they follow the
+        process-wide selection too.  ``ltl`` specs never build a
+        device, so the engine cannot influence them and ``None`` is
+        returned.
         """
         if self.kind == "pox":
             for key, value in self.config_overrides:
                 if key == "exec_engine" and value is not None:
                     return value
-        if self.kind in ("pox", "attack"):
+        if self.kind in ("pox", "attack", "job"):
             # Lazy import, mirroring the runner: the campaign layer must
             # stay importable without the simulator stack.
             from repro.cpu.engine import engine_name
 
             return engine_name()
         return None
+
+    def _ambient_state(self):
+        """Process-wide selections that can steer this spec's outcome.
+
+        ``job`` bodies are opaque: unlike the declarative kinds, the
+        campaign layer cannot prove the crypto backend is irrelevant to
+        them (the backends are differentially pinned byte-identical for
+        the *declarative* paths only), so the ambient
+        ``REPRO_CRYPTO_BACKEND`` selection is folded into a job spec's
+        identity -- a warm store run under a flipped backend recomputes
+        instead of serving a result the flip might have changed.
+        """
+        if self.kind != "job":
+            return None
+        from repro.crypto.backend import backend_name
+
+        return {"crypto_backend": backend_name()}
 
     def fingerprint(self) -> str:
         """A stable SHA-256 content address for this scenario's outcome.
@@ -462,10 +482,12 @@ class ScenarioSpec:
         event / observer registry references, schedules, configuration
         including overrides, run mode, expectations, metadata), the
         execution engine the scenario would run on
-        (:meth:`effective_engine`) and the :data:`code_epoch`.  Any
-        perturbation of any of those changes the fingerprint; the
-        crypto backend is deliberately excluded because the backends
-        are differentially pinned byte-identical.
+        (:meth:`effective_engine`), ambient process state opaque job
+        bodies depend on (:meth:`_ambient_state`) and the
+        :data:`code_epoch`.  Any perturbation of any of those changes
+        the fingerprint; for declarative kinds the crypto backend is
+        deliberately excluded because the backends are differentially
+        pinned byte-identical.
 
         This is what keys the on-disk
         :class:`~repro.sim.store.ResultStore`: same fingerprint, same
@@ -473,5 +495,6 @@ class ScenarioSpec:
         executing anything.
         """
         payload = canonical_bytes(
-            (code_epoch(), self.effective_engine(), self))
+            (code_epoch(), self.effective_engine(),
+             self._ambient_state(), self))
         return hashlib.sha256(_FINGERPRINT_SCHEME + payload).hexdigest()

@@ -44,6 +44,8 @@ import uuid
 from pathlib import Path
 from typing import Optional
 
+from repro.obs.metrics import get_registry
+
 #: Entry-format version; bump on layout changes so stale files read as
 #: misses instead of mis-parsing.
 STORE_FORMAT = 1
@@ -65,6 +67,11 @@ class ResultStore:
         self.misses = 0
         self.writes = 0
         self.skipped = 0
+
+    def _count(self, name):
+        """Bump a handle counter and its ``store.*`` registry twin."""
+        setattr(self, name, getattr(self, name) + 1)
+        get_registry().counter("store." + name).inc()
 
     # ------------------------------------------------------------ layout
 
@@ -98,21 +105,21 @@ class ResultStore:
         try:
             payload = json.loads(self.path_for(fingerprint).read_text())
         except (OSError, ValueError):
-            self.misses += 1
+            self._count("misses")
             return None
         if (not isinstance(payload, dict)
                 or payload.get("format") != STORE_FORMAT
                 or payload.get("fingerprint") != fingerprint):
-            self.misses += 1
+            self._count("misses")
             return None
         try:
             result = ScenarioResult(
                 **{field: payload["result"][field] for field in _RESULT_FIELDS})
         except (KeyError, TypeError):
-            self.misses += 1
+            self._count("misses")
             return None
         result.cached = True
-        self.hits += 1
+        self._count("hits")
         return result
 
     def put(self, fingerprint: str, result) -> bool:
@@ -122,7 +129,7 @@ class ResultStore:
         and for results JSON cannot represent byte-identically.
         """
         if result.error is not None:
-            self.skipped += 1
+            self._count("skipped")
             return False
         fields = {field: getattr(result, field) for field in _RESULT_FIELDS}
         try:
@@ -131,13 +138,13 @@ class ResultStore:
                  "result": fields},
                 allow_nan=False)
         except (TypeError, ValueError):
-            self.skipped += 1
+            self._count("skipped")
             return False
         # Round-trip guard: only cache what decodes back *exactly*
         # (JSON would silently turn a tuple observation into a list,
         # breaking cached-vs-recomputed row identity).
         if json.loads(encoded)["result"] != fields:
-            self.skipped += 1
+            self._count("skipped")
             return False
         path = self.path_for(fingerprint)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -145,7 +152,7 @@ class ResultStore:
                               % (fingerprint, os.getpid(), uuid.uuid4().hex[:8]))
         temp.write_text(encoded + "\n")
         os.replace(temp, path)
-        self.writes += 1
+        self._count("writes")
         return True
 
     # ------------------------------------------------------------ accounting

@@ -293,9 +293,22 @@ class TestFailFast:
             for index in range(count)
         ]
 
-    def test_remote_backend_rejected(self):
-        with pytest.raises(ValueError, match="fail-fast"):
-            CampaignRunner(backend="remote", fail_fast=True)
+    def test_remote_backend_aborts_on_failure(self):
+        # The remote dispatcher drains its assigned workers and requeues
+        # nothing after the abort: the campaign ends early, aborted, and
+        # whatever did complete stays spec-ordered.
+        broken = ScenarioSpec(name="broken",
+                              firmware=FirmwareRef.of("no-such-firmware"))
+        specs = [broken] + self._ltl_specs(6)
+        outcome = CampaignRunner(backend="remote", jobs=2,
+                                 fail_fast=True).run(specs)
+        assert outcome.aborted
+        assert not outcome.all_ok()
+        names = [result.name for result in outcome]
+        assert "broken" in names
+        expected_order = [spec.name for spec in specs
+                          if spec.name in set(names)]
+        assert names == expected_order
 
     def test_serial_stops_at_first_failure(self):
         specs = self._ltl_specs(1) + [

@@ -147,9 +147,23 @@ class TestCommandLine:
         assert main(["E7", "--fail-fast"]) == 0
         assert "All 1 experiments" in capsys.readouterr().out
 
-    def test_fail_fast_requires_local_backend(self, capsys):
-        assert main(["E7", "--backend", "remote", "--fail-fast"]) == 2
-        assert "--fail-fast" in capsys.readouterr().err
+    def test_fail_fast_accepted_with_remote_backend(self, capsys):
+        assert main(["E7", "--backend", "remote", "--jobs", "2",
+                     "--fail-fast"]) == 0
+        assert "All 1 experiments" in capsys.readouterr().out
+
+    def test_telemetry_flag_exports_jsonl(self, capsys, tmp_path):
+        import json
+
+        telemetry = tmp_path / "telemetry"
+        assert main(["E7", "--telemetry", str(telemetry)]) == 0
+        assert "wrote telemetry" in capsys.readouterr().out
+        records = [json.loads(line) for line in
+                   (telemetry / "telemetry.jsonl").read_text().splitlines()]
+        kinds = {record["record"] for record in records}
+        assert kinds == {"metrics", "span"}
+        metrics = next(r for r in records if r["record"] == "metrics")
+        assert metrics["counters"]["campaign.scenarios"] > 0
 
     def test_store_prune_flags_require_store(self, capsys):
         assert main(["E7", "--store-prune-entries", "5"]) == 2

@@ -2,7 +2,7 @@
 
 The registry (membership + liveness with an injected clock), the
 consistent-hash ring (deterministic placement, ~1/N movement on
-membership change), the latency recorder / report containers and the
+membership change), the latency histogram / report containers and the
 backpressure gate -- everything here is plain bookkeeping, exercised
 without sockets or event loops (except the gate, which is an asyncio
 semaphore by construction).
@@ -16,9 +16,9 @@ from repro.cluster import HashRing, WorkerRegistry
 from repro.cluster.metrics import (
     BackpressureGate,
     ClusterReport,
-    LatencyRecorder,
     ShardStats,
 )
+from repro.obs.metrics import Histogram, MetricsRegistry
 
 
 class FakeClock:
@@ -162,9 +162,12 @@ class TestHashRing:
             HashRing(replicas=0)
 
 
-class TestLatencyRecorder:
+class TestShardLatencyHistogram:
+    """The shards' latency sampler is the telemetry-spine Histogram;
+    these pin the LatencyRecorder semantics it replaced."""
+
     def test_percentiles_over_known_samples(self):
-        recorder = LatencyRecorder()
+        recorder = Histogram()
         for value in range(1, 101):  # 1..100
             recorder.record(float(value))
         assert recorder.p50 == pytest.approx(50.0, abs=1.0)
@@ -172,11 +175,11 @@ class TestLatencyRecorder:
         assert recorder.count == 100
 
     def test_empty_recorder_answers_zero(self):
-        assert LatencyRecorder().p50 == 0.0
-        assert LatencyRecorder().p99 == 0.0
+        assert Histogram().p50 == 0.0
+        assert Histogram().p99 == 0.0
 
     def test_window_is_bounded(self):
-        recorder = LatencyRecorder(limit=10)
+        recorder = Histogram(window=10)
         for value in range(100):
             recorder.record(float(value))
         # Only the most recent 10 samples (90..99) remain.
@@ -184,7 +187,7 @@ class TestLatencyRecorder:
         assert recorder.percentile(0.0) == 90.0
 
     def test_bad_fraction_rejected(self):
-        recorder = LatencyRecorder()
+        recorder = Histogram()
         recorder.record(1.0)
         with pytest.raises(ValueError, match="fraction"):
             recorder.percentile(1.5)
@@ -253,3 +256,22 @@ class TestClusterReport:
         report = ClusterReport(fleet_size=1, shard_count=1,
                                exchanges=10, elapsed_seconds=2.0)
         assert report.exchanges_per_second == 5.0
+
+    def test_publish_projects_report_into_registry(self):
+        report = ClusterReport(
+            fleet_size=4, shard_count=2, exchanges=16, accepted=14,
+            rejected=1, timed_out=1, shed=3, delayed=2,
+            per_kind={"ra": 8, "pox": 8},
+            shards=[ShardStats(shard="shard-0", exchanges=9, shed=3,
+                               pending_challenges=1, p50_seconds=0.5),
+                    ShardStats(shard="shard-1", exchanges=7, alive=False)])
+        registry = MetricsRegistry(collect=False)
+        report.publish(registry)
+        snapshot = registry.snapshot()
+        gauges = snapshot["gauges"]
+        assert gauges["cluster.exchanges"] == 16
+        assert gauges["cluster.shed"] == 3
+        assert gauges["cluster.per_kind.pox"] == 8
+        assert gauges["cluster.shard-0.shed"] == 3
+        assert gauges["cluster.shard-0.p50_seconds"] == 0.5
+        assert gauges["cluster.shard-1.alive"] == 0
